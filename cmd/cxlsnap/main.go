@@ -1,0 +1,208 @@
+// Command cxlsnap demonstrates that the pool's contents outlive every
+// client process (the device has its own power supply — paper Figure 1):
+// it builds a shared KV store, simulates total client loss, writes the raw
+// device image to a file, and in a later invocation attaches the image,
+// recovers the stale clients, and reads the data back.
+//
+// Usage:
+//
+//	cxlsnap -create pool.img -keys 500     # first "boot": populate and save
+//	cxlsnap -open pool.img                 # later "boot": attach and verify
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/kv"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+const imageMagic = 0x43584C534E415031 // "CXLSNAP1"
+
+func main() {
+	create := flag.String("create", "", "create a pool, populate it, save the image to this file")
+	open := flag.String("open", "", "attach a saved image, recover, and verify")
+	keys := flag.Int("keys", 500, "keys to store")
+	flag.Parse()
+
+	switch {
+	case *create != "":
+		if err := doCreate(*create, *keys); err != nil {
+			fail(err)
+		}
+	case *open != "":
+		if err := doOpen(*open); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doCreate(path string, keys int) error {
+	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 8, NumSegments: 64, SegmentWords: 1 << 14, PageWords: 1 << 10,
+	}})
+	if err != nil {
+		return err
+	}
+	c, err := pool.Connect()
+	if err != nil {
+		return err
+	}
+	s, err := kv.Create(c, 0, 1024, 32, 1)
+	if err != nil {
+		return err
+	}
+	val := make([]byte, 32)
+	for k := 0; k < keys; k++ {
+		val[0], val[1] = byte(k), byte(k>>8)
+		if err := s.Put(uint64(k), val); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("stored %d keys; client %d now 'loses power' without releasing anything\n", keys, c.ID())
+	// No Close, no Release: the image captures the mess as-is.
+	img := pool.Snapshot()
+	if err := writeImage(path, img); err != nil {
+		return err
+	}
+	fmt.Printf("device image (%d KiB) written to %s\n", len(img)*8/1024, path)
+	return nil
+}
+
+func doOpen(path string) error {
+	img, err := readImage(path)
+	if err != nil {
+		return err
+	}
+	pool, err := shm.AttachSnapshot(img)
+	if err != nil {
+		return err
+	}
+	stale := pool.StaleClients()
+	fmt.Printf("attached image: %d stale client(s) from the previous incarnation\n", len(stale))
+	svc, err := recovery.NewService(pool)
+	if err != nil {
+		return err
+	}
+	for _, cid := range stale {
+		if err := pool.MarkClientDead(cid); err != nil {
+			return err
+		}
+		rep, err := svc.RecoverClient(cid)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  recovered client %d (swept %d refs, freed %d segments)\n",
+			cid, rep.SweptRoots, rep.SegsFreed)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 4; i++ {
+		mon.Tick()
+	}
+
+	c, err := pool.Connect()
+	if err != nil {
+		return err
+	}
+	s, err := kv.Open(c, 0)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 32)
+	found, bad := 0, 0
+	for k := uint64(0); ; k++ {
+		if _, err := s.Get(k, buf); err != nil {
+			break
+		}
+		if buf[0] != byte(k) || buf[1] != byte(k>>8) {
+			bad++
+		}
+		found++
+	}
+	fmt.Printf("read back %d keys (%d corrupt)\n", found, bad)
+	res := check.Validate(pool)
+	fmt.Printf("pool audit: %d live objects, %d issues\n", res.AllocatedObjects, len(res.Issues))
+	if bad > 0 || !res.Clean() {
+		return fmt.Errorf("image verification failed")
+	}
+	fmt.Println("OK: the pool outlived every client process")
+	return nil
+}
+
+// writeImage stores the image as little-endian words with a magic header.
+func writeImage(path string, words []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], imageMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(words)))
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(words); off += 4096 {
+		n := len(words) - off
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], words[off+i])
+		}
+		if _, err := f.Write(buf[:n*8]); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+func readImage(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != imageMagic {
+		return nil, fmt.Errorf("cxlsnap: %s is not a pool image", path)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("cxlsnap: absurd image size %d words", n)
+	}
+	words := make([]uint64, n)
+	buf := make([]byte, 8*4096)
+	for off := uint64(0); off < n; off += 4096 {
+		cnt := n - off
+		if cnt > 4096 {
+			cnt = 4096
+		}
+		if _, err := io.ReadFull(f, buf[:cnt*8]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < cnt; i++ {
+			words[off+i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+	}
+	return words, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cxlsnap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,440 @@
+// Package cxlshm is a partial-failure-resilient memory management system for
+// (CXL-based) distributed shared memory — a Go reproduction of CXL-SHM
+// (SOSP 2023).
+//
+// A Pool models a CXL-attached shared memory device with its own failure
+// domain. Clients — one per goroutine, standing in for threads, processes,
+// or machines — allocate fine-grained shared objects, exchange zero-copy
+// references through shared queues, and may crash at any instruction without
+// leaking memory, double-freeing, or leaving wild pointers behind: an
+// era-based non-blocking reference counting algorithm plus an asynchronous
+// recovery service reclaim everything a failed client possessed while other
+// clients keep running.
+//
+// Quick start:
+//
+//	pool, _ := cxlshm.NewPool(cxlshm.Config{})
+//	defer pool.Close()
+//	a, _ := pool.Connect()
+//	b, _ := pool.Connect()
+//
+//	ref, _ := a.Malloc(64, 0)          // allocate 64 shared bytes
+//	ref.Write(0, []byte("hello"))       // direct access, no copies
+//	q, _ := a.NewQueueTo(b.ID(), 16)    // shared SPSC transfer queue
+//	a.Send(q, ref)                      // pass by reference
+//	ref.Release()
+//
+//	qb, _ := b.OpenQueueFrom(a.ID())
+//	got, _ := b.Receive(qb)             // exactly-once ownership transfer
+//	buf := make([]byte, 5)
+//	got.Read(0, buf)                    // reads "hello"
+//	got.Release()
+//
+// If a client dies (or simply stops heartbeating), the pool's monitor fences
+// it and recovers its references asynchronously; see Pool.StartMonitor.
+package cxlshm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cxl"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// Addr is a machine-independent pointer into the shared pool (a word
+// offset; 0 is nil). Most applications never touch raw addresses — they use
+// Ref — but shared-everything data structures (embedded references, direct
+// word CAS) work in terms of Addr.
+type Addr = layout.Addr
+
+// Errors re-exported from the implementation.
+var (
+	ErrOutOfMemory      = shm.ErrOutOfMemory
+	ErrTooManyClients   = shm.ErrTooManyClients
+	ErrRefCountOverflow = shm.ErrRefCountOverflow
+	ErrStaleReference   = shm.ErrStaleReference
+	ErrFenced           = shm.ErrFenced
+	ErrTooLarge         = shm.ErrTooLarge
+	ErrQueueFull        = shm.ErrQueueFull
+	ErrQueueEmpty       = shm.ErrQueueEmpty
+	ErrReleased         = errors.New("cxlshm: use of released reference")
+)
+
+// LatencyModel selects how the simulated device charges memory latency.
+// See the paper's Table 1 for the three profiles it compares.
+type LatencyModel int
+
+// Latency models.
+const (
+	LatencyNone       LatencyModel = iota // no injected latency (default)
+	LatencyLocalNUMA                      // ~110 ns random-access
+	LatencyRemoteNUMA                     // ~200 ns random-access
+	LatencyCXL                            // ~390 ns random-access
+)
+
+// Config sizes a Pool. Zero fields take defaults suitable for tests and
+// laptop-scale benchmarks; the paper's production geometry (64 MB segments)
+// is just larger numbers.
+type Config struct {
+	MaxClients   int // default 32
+	NumSegments  int // default 64
+	SegmentBytes int // default 512 KiB; the paper uses 64 MiB
+	PageBytes    int // default 32 KiB
+	MaxQueues    int // default 128
+	Latency      LatencyModel
+
+	// FlushCostNS optionally charges each RootRef cache-line flush, for
+	// reproducing the Figure 7 breakdown. Zero means free flushes.
+	FlushCostNS int
+	// FenceCostNS optionally charges each allocation-path fence.
+	FenceCostNS int
+}
+
+// Pool is a shared memory pool plus its recovery machinery.
+type Pool struct {
+	p   *shm.Pool
+	svc *recovery.Service
+	mon *recovery.Monitor
+}
+
+// NewPool creates and formats a pool, and connects its recovery service.
+func NewPool(cfg Config) (*Pool, error) {
+	var lat cxl.Latency
+	switch cfg.Latency {
+	case LatencyNone:
+	case LatencyLocalNUMA:
+		lat = cxl.LatencyLocalNUMA
+	case LatencyRemoteNUMA:
+		lat = cxl.LatencyRemoteNUMA
+	case LatencyCXL:
+		lat = cxl.LatencyCXL
+	default:
+		return nil, fmt.Errorf("cxlshm: unknown latency model %d", cfg.Latency)
+	}
+	lat.FlushNS = cfg.FlushCostNS
+	lat.FenceNS = cfg.FenceCostNS
+	p, err := shm.NewPool(shm.Config{
+		Geometry: layout.GeometryConfig{
+			MaxClients:   cfg.MaxClients,
+			NumSegments:  cfg.NumSegments,
+			SegmentWords: uint64(cfg.SegmentBytes / layout.WordBytes),
+			PageWords:    uint64(cfg.PageBytes / layout.WordBytes),
+			MaxQueues:    cfg.MaxQueues,
+		},
+		Latency: lat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{p: p, svc: svc}, nil
+}
+
+// Connect joins the pool as a new client. Each client must be used from a
+// single goroutine (the paper's one-client-per-thread model).
+func (p *Pool) Connect() (*Client, error) {
+	c, err := p.p.Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, pool: p}, nil
+}
+
+// StartMonitor launches the asynchronous failure detector: clients that stop
+// calling Heartbeat for roughly threshold×interval are fenced and recovered
+// in the background without blocking anyone (paper §3.2).
+func (p *Pool) StartMonitor(interval time.Duration, threshold int) {
+	if p.mon != nil {
+		return
+	}
+	p.mon = recovery.NewMonitor(p.svc, recovery.MonitorConfig{
+		Interval: interval, Threshold: threshold,
+	})
+	p.mon.Start()
+}
+
+// Recover synchronously fences and recovers client cid (what the monitor
+// does on heartbeat loss; exposed for deterministic tests and tools).
+func (p *Pool) Recover(cid int) error {
+	if err := p.p.MarkClientDead(cid); err != nil {
+		return err
+	}
+	_, err := p.svc.RecoverClient(cid)
+	return err
+}
+
+// Maintain runs one round of background maintenance (abandoned-segment
+// scans, queue registry sweep) synchronously. The monitor does this
+// continuously when started.
+func (p *Pool) Maintain() {
+	mon := p.mon
+	if mon == nil {
+		mon = recovery.NewMonitor(p.svc, recovery.MonitorConfig{})
+	}
+	mon.Tick()
+}
+
+// Close stops the monitor (if started). The pool itself is garbage-collected
+// memory; nothing else to release.
+func (p *Pool) Close() {
+	if p.mon != nil {
+		p.mon.Stop()
+		p.mon = nil
+	}
+}
+
+// Usage summarizes pool occupancy (segment states, live clients, size).
+func (p *Pool) Usage() shm.Usage { return p.p.Usage() }
+
+// Internal exposes the underlying implementation pool for benchmarks,
+// validators, and tools. Applications do not need it.
+func (p *Pool) Internal() *shm.Pool { return p.p }
+
+// Client is one RDSM participant. Not goroutine-safe; use one Client per
+// goroutine.
+type Client struct {
+	c    *shm.Client
+	pool *Pool
+}
+
+// ID returns the client's pool-wide ID.
+func (c *Client) ID() int { return c.c.ID() }
+
+// Heartbeat signals liveness to the monitor.
+func (c *Client) Heartbeat() { c.c.Heartbeat() }
+
+// Close marks the client dead; the recovery service reclaims anything it
+// still holds. Release references first for a tidy exit — but exiting dirty
+// is safe, that is the whole point.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Internal exposes the implementation client (benchmarks and tools).
+func (c *Client) Internal() *shm.Client { return c.c }
+
+// Malloc allocates size bytes of shared memory with embedRefs embedded
+// reference slots at the start of the data area, returning a counted
+// reference (paper §3.1: cxl_malloc).
+func (c *Client) Malloc(size, embedRefs int) (*Ref, error) {
+	root, block, err := c.c.Malloc(size, embedRefs)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{c: c, root: root, block: block}, nil
+}
+
+// NewQueueTo creates a shared SPSC transfer queue from this client to
+// receiver (paper §5.2). The queue is itself a counted shared object; Close
+// both ends to reclaim it.
+func (c *Client) NewQueueTo(receiver, capacity int) (*Queue, error) {
+	root, block, err := c.c.CreateQueue(receiver, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{c: c, root: root, block: block}, nil
+}
+
+// OpenQueueFrom finds (in the pool's queue registry) and opens the queue
+// whose sender is sender and whose receiver is this client.
+func (c *Client) OpenQueueFrom(sender int) (*Queue, error) {
+	block := c.c.FindQueueFrom(sender)
+	if block == 0 {
+		return nil, fmt.Errorf("cxlshm: no queue from client %d to %d", sender, c.ID())
+	}
+	root, err := c.c.OpenQueue(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{c: c, root: root, block: block}, nil
+}
+
+// Send transfers a counted reference into the queue (paper cxl_send_to).
+// The sender keeps its own reference; release it when done. Ownership of
+// the in-flight reference belongs to the queue until received.
+func (c *Client) Send(q *Queue, ref *Ref) error {
+	if ref.root == 0 {
+		return ErrReleased
+	}
+	return c.c.Send(q.block, ref.block)
+}
+
+// Receive takes the next reference from the queue (paper cxl_receive_from),
+// returning ErrQueueEmpty when nothing is in flight.
+func (c *Client) Receive(q *Queue) (*Ref, error) {
+	root, block, err := c.c.Receive(q.block)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{c: c, root: root, block: block}, nil
+}
+
+// Ref is a CXLRef: a smart pointer to a shared object. It is tied to the
+// client that created it and is not goroutine-safe (clone-and-send to share
+// across clients, paper §3.1).
+type Ref struct {
+	c     *Client
+	root  Addr // RootRef slot in the shared pool
+	block Addr // the CXLObj
+}
+
+// Addr returns the object's machine-independent address (for embedding into
+// other objects or direct word operations).
+func (r *Ref) Addr() Addr { return r.block }
+
+// Clone adds a thread-local reference (no atomics, no flush — the two-tier
+// count of §5.2). Both the clone and the original must be Released.
+func (r *Ref) Clone() *Ref {
+	r.c.c.CloneRoot(r.root)
+	return &Ref{c: r.c, root: r.root, block: r.block}
+}
+
+// Release drops this reference. When the last reference anywhere drops, the
+// object is reclaimed (cascading through embedded references). Returns
+// whether this release freed the object.
+func (r *Ref) Release() (bool, error) {
+	if r.root == 0 {
+		return false, ErrReleased
+	}
+	freed, err := r.c.c.ReleaseRoot(r.root)
+	if err == nil {
+		r.root = 0
+	}
+	return freed, err
+}
+
+// Size returns the object's usable data size in bytes.
+func (r *Ref) Size() int { return r.c.c.DataBytesOf(r.block) }
+
+// Read copies len(p) bytes from the object at byte offset off.
+func (r *Ref) Read(off int, p []byte) { r.c.c.ReadData(r.block, off, p) }
+
+// Write stores p into the object at byte offset off.
+func (r *Ref) Write(off int, p []byte) { r.c.c.WriteData(r.block, off, p) }
+
+// LoadWord atomically reads data word i.
+func (r *Ref) LoadWord(i int) uint64 { return r.c.c.LoadWord(r.block, i) }
+
+// StoreWord atomically writes data word i.
+func (r *Ref) StoreWord(i int, v uint64) { r.c.c.StoreWord(r.block, i, v) }
+
+// CASWord atomically compares-and-swaps data word i.
+func (r *Ref) CASWord(i int, old, new uint64) bool { return r.c.c.CASWord(r.block, i, old, new) }
+
+// SetEmbed links embedded reference idx to target's object (single-writer;
+// see paper §4.3 and §5.4).
+func (r *Ref) SetEmbed(idx int, target *Ref) error {
+	return r.c.c.SetEmbed(r.block, idx, target.block)
+}
+
+// SetEmbedAddr links embedded reference idx to an object by address (for
+// data structures that traverse raw embedded pointers).
+func (r *Ref) SetEmbedAddr(idx int, target Addr) error {
+	return r.c.c.SetEmbed(r.block, idx, target)
+}
+
+// ChangeEmbed atomically re-points embedded reference idx to target,
+// releasing the previous target (the §5.4 change function).
+func (r *Ref) ChangeEmbed(idx int, target *Ref) error {
+	return r.c.c.ChangeEmbed(r.block, idx, target.block)
+}
+
+// ChangeEmbedAddr is ChangeEmbed by address.
+func (r *Ref) ChangeEmbedAddr(idx int, target Addr) error {
+	return r.c.c.ChangeEmbed(r.block, idx, target)
+}
+
+// ClearEmbed unlinks embedded reference idx, releasing its target.
+func (r *Ref) ClearEmbed(idx int) error { return r.c.c.ClearEmbed(r.block, idx) }
+
+// LoadEmbed reads embedded reference idx (0 when unset).
+func (r *Ref) LoadEmbed(idx int) (Addr, error) { return r.c.c.LoadEmbed(r.block, idx) }
+
+// PublishRoot attaches well-known named-root slot i to ref's object so it
+// stays alive independent of any client (the paper's persistent root
+// objects, §6.4). Drop with UnpublishRoot.
+func (c *Client) PublishRoot(i int, ref *Ref) error {
+	return c.c.PublishRoot(i, ref.block)
+}
+
+// OpenRoot takes this client's own counted reference to the object at
+// named-root slot i.
+func (c *Client) OpenRoot(i int) (*Ref, error) {
+	root, block, err := c.c.OpenRoot(i)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{c: c, root: root, block: block}, nil
+}
+
+// UnpublishRoot releases named-root slot i's reference.
+func (c *Client) UnpublishRoot(i int) error { return c.c.UnpublishRoot(i) }
+
+// AttachAddr takes a new counted reference to an object this client can
+// already reach (e.g. an address read from an embedded reference, under the
+// data structure's own read protocol).
+func (c *Client) AttachAddr(block Addr) (*Ref, error) {
+	root, err := c.c.AttachRoot(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Ref{c: c, root: root, block: block}, nil
+}
+
+// --- hazard-era protected reads (paper §5.4's deferred reclamation) ---
+
+// EnterRead publishes this client's hazard era before traversing a linked
+// structure whose writer uses RetireEmbed/ChangeEmbedRetire; pair with
+// ExitRead. While published, retired nodes the reader may be standing on
+// are not reclaimed.
+func (c *Client) EnterRead() uint64 { return c.c.EnterRead() }
+
+// ExitRead clears the published hazard era.
+func (c *Client) ExitRead() { c.c.ExitRead() }
+
+// ReclaimRetired frees retired nodes no live reader can still hold,
+// returning how many were reclaimed. Writers call this periodically.
+func (c *Client) ReclaimRetired() int { return c.c.ReclaimRetired() }
+
+// RetiredCount reports how many unlinked nodes await safe reclamation.
+func (c *Client) RetiredCount() int { return c.c.RetiredCount() }
+
+// RetireEmbed unlinks embedded reference idx like ClearEmbed but defers the
+// target's reclamation until no reader's hazard era can cover it.
+func (r *Ref) RetireEmbed(idx int) error { return r.c.c.RetireEmbed(r.block, idx) }
+
+// ChangeEmbedRetire re-points embedded reference idx to target like
+// ChangeEmbed but defers reclamation of the old node (safe for concurrent
+// readers).
+func (r *Ref) ChangeEmbedRetire(idx int, target *Ref) error {
+	return r.c.c.ChangeEmbedRetire(r.block, idx, target.block)
+}
+
+// Queue is a shared SPSC reference-transfer queue endpoint.
+type Queue struct {
+	c     *Client
+	root  Addr
+	block Addr
+}
+
+// Len reports how many references are in flight.
+func (q *Queue) Len() int { return q.c.c.QueueLen(q.block) }
+
+// Close releases this endpoint's reference to the queue. When both ends
+// (and the recovery service, if it had to step in) are done, the queue and
+// any in-flight references are reclaimed.
+func (q *Queue) Close() error {
+	if q.root == 0 {
+		return ErrReleased
+	}
+	_, err := q.c.c.ReleaseRoot(q.root)
+	if err == nil {
+		q.root = 0
+	}
+	return err
+}

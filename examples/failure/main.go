@@ -1,0 +1,101 @@
+// Failure: the paper's headline scenario (§1.2). A client allocates shared
+// objects, passes a reference to another client, then dies without cleaning
+// up. The monitor detects the death and the recovery service reclaims
+// everything the dead client possessed — without blocking the survivor,
+// whose reference stays valid throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cxlshm "repro"
+	"repro/internal/check"
+)
+
+func main() {
+	pool, err := cxlshm.NewPool(cxlshm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	// Heartbeat monitor: clients silent for ~3×5ms are declared dead and
+	// recovered asynchronously.
+	pool.StartMonitor(5*time.Millisecond, 3)
+
+	victim, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	survivor, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim allocates a pile of objects it will never release...
+	for i := 0; i < 1000; i++ {
+		if _, err := victim.Malloc(48, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// ...and shares one object with the survivor.
+	shared, err := victim.Malloc(64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared.Write(0, []byte("I must survive the crash"))
+	survivorRef, err := survivor.AttachAddr(shared.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim (client %d) holds 1001 objects; survivor shares one of them\n", victim.ID())
+
+	// The victim dies: no releases, no goodbye. (Close marks it dead the
+	// same way a heartbeat timeout would.)
+	if err := victim.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim crashed without releasing anything")
+
+	// The survivor keeps working while recovery happens in the background.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		survivor.Heartbeat()
+		if pool.Internal().ClientStatus(victim.ID()) == 3 { // recovered
+			break
+		}
+		// Business as usual, never blocked:
+		tmp, err := survivor.Malloc(32, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tmp.Release(); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Println("recovery completed asynchronously; survivor never blocked")
+
+	// The shared object is intact — no double free, no wild pointer.
+	buf := make([]byte, 24)
+	survivorRef.Read(0, buf)
+	fmt.Printf("survivor still reads: %q\n", buf)
+
+	// The survivor's release is now the last one: the object is reclaimed.
+	freed, err := survivorRef.Release()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("survivor released; freed=%v\n", freed)
+
+	// Audit the pool: the victim's 1000 unshared objects were all reclaimed.
+	pool.Close() // stop the monitor before validating
+	pool.Maintain()
+	res := check.Validate(pool.Internal())
+	fmt.Printf("audit: %d live objects, %d issues\n", res.AllocatedObjects, len(res.Issues))
+	if !res.Clean() || res.AllocatedObjects != 0 {
+		log.Fatal("pool not clean after recovery")
+	}
+	fmt.Println("OK: partial failure fully recovered, nothing leaked")
+}

@@ -1,0 +1,113 @@
+// RPC: the pass-by-reference RPC framework of §6.3 in action. A caller
+// builds its arguments directly in shared memory, the server works on them
+// in place, and only references ever cross the client/server boundary —
+// no serialization, no copies, no network stack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/layout"
+	"repro/internal/rpc"
+	"repro/internal/shm"
+)
+
+// Function IDs for our tiny service.
+const (
+	fnWordCount = 1
+	fnReverse   = 2
+)
+
+func main() {
+	pool, err := shm.NewPool(shm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	callerClient, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverClient, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	caller, err := rpc.NewCaller(callerClient, serverClient.ID(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := rpc.NewServer(serverClient, callerClient.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Handlers read arguments and write results in place.
+	server.Register(fnWordCount, func(c *shm.Client, args []layout.Addr, out layout.Addr) error {
+		n := c.DataBytesOf(args[0])
+		buf := make([]byte, n)
+		c.ReadData(args[0], 0, buf)
+		words, inWord := uint64(0), false
+		for _, b := range buf {
+			sp := b == ' ' || b == '\n' || b == 0
+			if !sp && !inWord {
+				words++
+			}
+			inWord = !sp
+		}
+		c.StoreWord(out, 0, words)
+		return nil
+	})
+	server.Register(fnReverse, func(c *shm.Client, args []layout.Addr, out layout.Addr) error {
+		n := c.DataBytesOf(args[0])
+		buf := make([]byte, n)
+		c.ReadData(args[0], 0, buf)
+		for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		c.WriteData(out, 0, buf)
+		return nil
+	})
+
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(stop.Load) }()
+
+	// Call 1: word count. The argument is written once into shared memory;
+	// the server reads it in place.
+	text := "references move data stays put"
+	argRoot, arg, err := caller.Arg([]byte(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	outRoot, out, err := caller.Call(fnWordCount, []layout.Addr{arg}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wordcount(%q) = %d\n", text, callerClient.LoadWord(out, 0))
+	callerClient.ReleaseRoot(outRoot)
+
+	// Call 2: reuse the same argument object — zero-copy across calls too.
+	outRoot, out, err = caller.Call(fnReverse, []layout.Addr{arg}, len(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, len(text))
+	callerClient.ReadData(out, 0, buf)
+	fmt.Printf("reverse(...) = %q\n", buf)
+	callerClient.ReleaseRoot(outRoot)
+	callerClient.ReleaseRoot(argRoot)
+
+	stop.Store(true)
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	if err := caller.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done — two RPCs, zero serialization")
+}

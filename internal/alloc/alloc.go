@@ -1,0 +1,161 @@
+// Package alloc defines the common allocator interface and the two
+// micro-benchmark workloads the paper uses to compare CXL-SHM with
+// state-of-the-art allocators (§6.1, Figure 6):
+//
+//   - Threadtest (from Hoard): each thread repeatedly allocates and then
+//     deallocates batches of 64-byte objects, no sharing.
+//   - Shbench (MicroQuill SmartHeap): a stress test of variable-size
+//     (64–400 byte) allocation with an interleaved working set.
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Obj is an opaque handle to an allocated object.
+type Obj interface{}
+
+// ThreadAllocator is one thread's allocation context. Implementations need
+// not be goroutine-safe; the drivers use one per goroutine.
+type ThreadAllocator interface {
+	Alloc(size int) (Obj, error)
+	Free(o Obj) error
+}
+
+// Allocator is a benchmarkable allocator.
+type Allocator interface {
+	Name() string
+	// NewThread creates a per-thread context.
+	NewThread() (ThreadAllocator, error)
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Allocator string
+	Workload  string
+	Threads   int
+	Ops       int64 // allocations + frees
+	Elapsed   time.Duration
+}
+
+// MOPS returns millions of operations per second.
+func (r Result) MOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s %-10s threads=%-3d %8.2f MOPS", r.Allocator, r.Workload, r.Threads, r.MOPS())
+}
+
+// Threadtest runs the Hoard threadtest workload: iters rounds per thread,
+// each allocating batch 64-byte objects then freeing them all.
+func Threadtest(a Allocator, threads, iters, batch int) (Result, error) {
+	run := func(ta ThreadAllocator) (int64, error) {
+		objs := make([]Obj, batch)
+		var ops int64
+		for it := 0; it < iters; it++ {
+			for i := 0; i < batch; i++ {
+				o, err := ta.Alloc(64)
+				if err != nil {
+					return ops, err
+				}
+				objs[i] = o
+			}
+			for i := 0; i < batch; i++ {
+				if err := ta.Free(objs[i]); err != nil {
+					return ops, err
+				}
+				objs[i] = nil
+			}
+			ops += int64(2 * batch)
+		}
+		return ops, nil
+	}
+	return drive(a, "threadtest", threads, run)
+}
+
+// Shbench runs the MicroQuill-style stress test: variable 64–400 byte
+// objects with a sliding working set, iters operations per thread.
+func Shbench(a Allocator, threads, iters int) (Result, error) {
+	run := func(ta ThreadAllocator) (int64, error) {
+		const window = 64
+		rng := rand.New(rand.NewSource(12345))
+		held := make([]Obj, 0, window)
+		var ops int64
+		for i := 0; i < iters; i++ {
+			size := 64 + rng.Intn(337) // 64..400 bytes
+			o, err := ta.Alloc(size)
+			if err != nil {
+				return ops, err
+			}
+			ops++
+			held = append(held, o)
+			if len(held) >= window {
+				victim := rng.Intn(len(held))
+				if err := ta.Free(held[victim]); err != nil {
+					return ops, err
+				}
+				ops++
+				held[victim] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+		}
+		for _, o := range held {
+			if err := ta.Free(o); err != nil {
+				return ops, err
+			}
+			ops++
+		}
+		return ops, nil
+	}
+	return drive(a, "shbench", threads, run)
+}
+
+func drive(a Allocator, workload string, threads int, run func(ThreadAllocator) (int64, error)) (Result, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	tas := make([]ThreadAllocator, threads)
+	for i := range tas {
+		ta, err := a.NewThread()
+		if err != nil {
+			return Result{}, fmt.Errorf("alloc: NewThread %d: %w", i, err)
+		}
+		tas[i] = ta
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int64
+		first error
+	)
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(ta ThreadAllocator) {
+			defer wg.Done()
+			ops, err := run(ta)
+			mu.Lock()
+			total += ops
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(tas[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if first != nil {
+		return Result{}, first
+	}
+	return Result{
+		Allocator: a.Name(), Workload: workload,
+		Threads: threads, Ops: total, Elapsed: elapsed,
+	}, nil
+}

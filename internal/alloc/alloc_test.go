@@ -1,0 +1,101 @@
+package alloc_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/layout"
+	"repro/internal/nativealloc"
+	"repro/internal/pmem"
+	"repro/internal/shm"
+)
+
+func allocators(t *testing.T) []alloc.Allocator {
+	t.Helper()
+	h, err := pmem.NewHeap(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 16, NumSegments: 64, SegmentWords: 1 << 14, PageWords: 1 << 10,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []alloc.Allocator{
+		nativealloc.Plain{},
+		&nativealloc.Pooled{},
+		pmem.Bench{H: h},
+		&alloc.SHM{Pool: pool},
+	}
+}
+
+func TestThreadtestAllAllocators(t *testing.T) {
+	for _, a := range allocators(t) {
+		res, err := alloc.Threadtest(a, 4, 50, 32)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		wantOps := int64(4 * 50 * 32 * 2)
+		if res.Ops != wantOps {
+			t.Fatalf("%s: ops=%d want %d", a.Name(), res.Ops, wantOps)
+		}
+		if res.MOPS() <= 0 {
+			t.Fatalf("%s: nonpositive MOPS", a.Name())
+		}
+	}
+}
+
+func TestShbenchAllAllocators(t *testing.T) {
+	for _, a := range allocators(t) {
+		res, err := alloc.Shbench(a, 4, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		// Every alloc is eventually freed: ops must be even and ≥ 2×iters.
+		if res.Ops < 2*4*2000 {
+			t.Fatalf("%s: ops=%d too few", a.Name(), res.Ops)
+		}
+		if res.Ops%2 != 0 {
+			t.Fatalf("%s: odd op count %d (unbalanced alloc/free)", a.Name(), res.Ops)
+		}
+	}
+}
+
+func TestSHMInstrumentationCollectsBreakdowns(t *testing.T) {
+	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 4, NumSegments: 16, SegmentWords: 1 << 13, PageWords: 1 << 9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &alloc.SHM{Pool: pool, Instrument: true}
+	if _, err := alloc.Threadtest(s, 2, 20, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Breakdowns) != 2 {
+		t.Fatalf("breakdowns = %d, want 2", len(s.Breakdowns))
+	}
+	for i, b := range s.Breakdowns {
+		if b.Ops == 0 || b.Total <= 0 {
+			t.Fatalf("breakdown %d empty: %+v", i, b)
+		}
+		if b.FlushOps == 0 || b.FenceOps == 0 {
+			t.Fatalf("breakdown %d counted no flushes/fences: %+v", i, b)
+		}
+		f, fe, al := b.Shares(100, 20)
+		if f <= 0 || fe <= 0 || al < 0 || f+fe+al > 100.001 {
+			t.Fatalf("breakdown %d shares: %v %v %v", i, f, fe, al)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := alloc.Result{Allocator: "x", Workload: "y", Threads: 2, Ops: 1000}
+	if r.MOPS() != 0 {
+		t.Fatal("zero elapsed must give zero MOPS")
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,58 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// SHM adapts a CXL-SHM pool to the Allocator benchmark interface: every
+// thread is a full RDSM client and every benchmark object is a counted,
+// shareable, failure-resilient distributed object — which is exactly the
+// overhead Figure 6 quantifies against volatile allocators.
+type SHM struct {
+	Pool *shm.Pool
+	// Breakdowns collects per-thread Figure 7 cost splits when non-nil
+	// (indexed by creation order; not goroutine-safe during the run).
+	Breakdowns []*shm.Breakdown
+	// Instrument enables breakdown accounting on new threads.
+	Instrument bool
+}
+
+// Name implements Allocator.
+func (s *SHM) Name() string { return "CXL-SHM" }
+
+// NewThread implements Allocator: each benchmark thread joins the pool as
+// its own client (separate failure domain).
+func (s *SHM) NewThread() (ThreadAllocator, error) {
+	c, err := s.Pool.Connect()
+	if err != nil {
+		return nil, err
+	}
+	if s.Instrument {
+		b := &shm.Breakdown{}
+		c.SetBreakdown(b)
+		s.Breakdowns = append(s.Breakdowns, b)
+	}
+	return shmThread{c}, nil
+}
+
+type shmThread struct{ c *shm.Client }
+
+func (t shmThread) Alloc(size int) (Obj, error) {
+	root, _, err := t.c.Malloc(size, 0)
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func (t shmThread) Free(o Obj) error {
+	root, ok := o.(layout.Addr)
+	if !ok {
+		return fmt.Errorf("alloc: foreign object %T", o)
+	}
+	_, err := t.c.ReleaseRoot(root)
+	return err
+}

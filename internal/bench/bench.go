@@ -1,0 +1,75 @@
+// Package bench contains the experiment harnesses that regenerate every
+// table and figure of the paper's evaluation (§6). Each experiment is a
+// function returning structured rows; cmd/cxlbench prints them and the
+// repository's bench_test.go wires them into `go test -bench`.
+//
+// Scale note: the paper runs on a dual-socket FPGA CXL platform; this
+// reproduction runs wherever `go test` does. Absolute numbers differ; the
+// experiments are parameterized so the *shape* — orderings, ratios,
+// crossovers — can be compared against the paper (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cxl"
+)
+
+// Scale selects experiment sizing.
+type Scale struct {
+	// Factor scales iteration counts; 1.0 is the quick default (seconds per
+	// experiment on a laptop).
+	Factor float64
+}
+
+// N scales a base iteration count.
+func (s Scale) N(base int) int {
+	if s.Factor <= 0 {
+		return base
+	}
+	n := int(float64(base) * s.Factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PrintTable renders rows of equal-length string slices as an aligned table.
+func PrintTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		return b.String()
+	}
+	fmt.Fprintln(w, line(header))
+	fmt.Fprintln(w, strings.Repeat("-", len(line(header))))
+	for _, r := range rows {
+		fmt.Fprintln(w, line(r))
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// cxlLatency builds a latency model charging only flush/fence costs.
+func cxlLatency(flushNS, fenceNS int) cxl.Latency {
+	return cxl.Latency{FlushNS: flushNS, FenceNS: fenceNS}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/lightning"
+	"repro/internal/recovery"
+)
+
+// BlockingRow is one system's behaviour while a crashed peer is recovered —
+// the paper's central §4.2/§6.4 contrast: in Lightning "all the clients must
+// wait for the recovery even if only one client crashes", which CXL-SHM's
+// era-based algorithm avoids entirely.
+type BlockingRow struct {
+	System string
+	// VictimObjects the dead client held (recovery workload size).
+	VictimObjects int
+	// Recovery is how long the recovery itself took.
+	Recovery time.Duration
+	// SurvivorMaxOp is the worst single-operation latency a concurrently
+	// running survivor observed while the failure was being handled. For a
+	// blocking design this approaches (detection + recovery) time; for a
+	// non-blocking one it stays at normal operation latency.
+	SurvivorMaxOp time.Duration
+	// SurvivorOps the survivor completed during the fixed measurement
+	// window (crash + detection + recovery + aftermath). A blocked survivor
+	// completes almost nothing; an unblocked one proceeds at full speed.
+	SurvivorOps int
+	// Window is the fixed measurement window both systems are given.
+	Window time.Duration
+}
+
+// blockingWindow is the fixed survivor measurement window.
+const blockingWindow = 10 * time.Millisecond
+
+// BlockingBench crashes one client and measures what the other one feels.
+func BlockingBench(scale Scale, victimObjects int) ([]BlockingRow, error) {
+	victimObjects = scale.N(victimObjects)
+	var rows []BlockingRow
+
+	// --- Lightning: the victim dies holding a bucket lock the survivor
+	// needs; the survivor blocks until the stop-the-world recovery runs. ---
+	{
+		store, err := lightning.NewStore(1<<22, 1<<15)
+		if err != nil {
+			return nil, err
+		}
+		victim := store.Connect()
+		survivor := store.Connect()
+		for k := 0; k < victimObjects; k++ {
+			if err := victim.Put(uint64(k), []byte("payload-64-bytes")); err != nil {
+				return nil, err
+			}
+		}
+		const hotKey = 7
+		if err := victim.CrashHoldingLock(hotKey); err != nil {
+			return nil, err
+		}
+
+		var (
+			maxOp time.Duration
+			ops   int
+			wg    sync.WaitGroup
+		)
+		windowEnd := time.Now().Add(blockingWindow)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The survivor needs the locked key: its first Get blocks until
+			// recovery breaks the dead client's lock.
+			for time.Now().Before(windowEnd) {
+				t0 := time.Now()
+				if _, err := survivor.Get(hotKey); err != nil && err != lightning.ErrNotFound {
+					return
+				}
+				if d := time.Since(t0); d > maxOp {
+					maxOp = d
+				}
+				ops++
+			}
+		}()
+		// Failure detection delay before recovery kicks in (modelled 2ms).
+		time.Sleep(2 * time.Millisecond)
+		rec := store.Recover()
+		wg.Wait()
+		rows = append(rows, BlockingRow{
+			System: "Lightning*", VictimObjects: victimObjects,
+			Recovery: rec, SurvivorMaxOp: maxOp, SurvivorOps: ops, Window: blockingWindow,
+		})
+	}
+
+	// --- CXL-SHM: the victim dies holding references; the survivor keeps
+	// reading the shared KV store while recovery runs concurrently. ---
+	{
+		pool, err := kvPool(4)
+		if err != nil {
+			return nil, err
+		}
+		creator, err := pool.Connect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := kv.Create(creator, 0, kvBenchBuckets, kvValueSize, 1); err != nil {
+			return nil, err
+		}
+		victim, err := pool.Connect()
+		if err != nil {
+			return nil, err
+		}
+		vs, err := kv.Open(victim, 0)
+		if err != nil {
+			return nil, err
+		}
+		val := make([]byte, kvValueSize)
+		for k := 0; k < victimObjects; k++ {
+			if err := vs.Put(uint64(k), val); err != nil {
+				return nil, err
+			}
+		}
+		// Extra unshared references so recovery has real work.
+		for i := 0; i < victimObjects; i++ {
+			if _, _, err := victim.Malloc(48, 0); err != nil {
+				return nil, err
+			}
+		}
+		survivorC, err := pool.Connect()
+		if err != nil {
+			return nil, err
+		}
+		survivor, err := kv.Open(survivorC, 0)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := recovery.NewService(pool)
+		if err != nil {
+			return nil, err
+		}
+		if err := victim.Crash(); err != nil {
+			return nil, err
+		}
+
+		var (
+			maxOp time.Duration
+			ops   int
+			rec   time.Duration
+			wg    sync.WaitGroup
+		)
+		windowEnd := time.Now().Add(blockingWindow)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, kvValueSize)
+			for time.Now().Before(windowEnd) {
+				t0 := time.Now()
+				if _, err := survivor.Get(uint64(ops%victimObjects), buf); err != nil {
+					return
+				}
+				if d := time.Since(t0); d > maxOp {
+					maxOp = d
+				}
+				ops++
+			}
+		}()
+		time.Sleep(2 * time.Millisecond) // same modelled detection delay
+		t0 := time.Now()
+		if _, err := svc.RecoverClient(victim.ID()); err != nil {
+			return nil, err
+		}
+		rec = time.Since(t0)
+		wg.Wait()
+		rows = append(rows, BlockingRow{
+			System: "CXL-SHM", VictimObjects: victimObjects,
+			Recovery: rec, SurvivorMaxOp: maxOp, SurvivorOps: ops, Window: blockingWindow,
+		})
+	}
+	return rows, nil
+}
+
+// PrintBlocking renders the comparison.
+func PrintBlocking(w io.Writer, rows []BlockingRow) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.System, fmt.Sprint(r.VictimObjects),
+			r.Recovery.Round(time.Microsecond).String(),
+			r.SurvivorMaxOp.Round(time.Microsecond).String(),
+			fmt.Sprint(r.SurvivorOps)}
+	}
+	PrintTable(w, []string{"System", "VictimObjs", "Recovery", "SurvivorMaxOp", "SurvivorOps"}, out)
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/pmem"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// RecoveryRow is one point of the §6.2.1 recovery comparison.
+type RecoveryRow struct {
+	System     string // "CXL-SHM" or "ralloc* (GC)"
+	Objects    int    // references/objects held by the failed client
+	HeapExtra  int    // additional live objects owned by OTHER clients
+	Duration   time.Duration
+	ObjsPerSec float64
+}
+
+// RecoveryBench compares CXL-SHM's reference-count recovery with the
+// pmem-style stop-the-world GC recovery (§6.2.1). The defining contrast:
+// CXL-SHM's cost is proportional to the references the failed client held,
+// while the GC walks the whole heap — so extra live data owned by *other*
+// clients slows the GC but not CXL-SHM.
+func RecoveryBench(scale Scale, objectCounts []int, heapExtra int) ([]RecoveryRow, error) {
+	var rows []RecoveryRow
+	for _, n := range objectCounts {
+		n := scale.N(n)
+		// --- CXL-SHM ---
+		pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+			MaxClients:   4,
+			NumSegments:  256,
+			SegmentWords: 1 << 15,
+			PageWords:    1 << 11,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		victim, err := pool.Connect()
+		if err != nil {
+			return nil, err
+		}
+		other, err := pool.Connect()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < heapExtra; i++ {
+			if _, _, err := other.Malloc(48, 0); err != nil {
+				return nil, fmt.Errorf("recovery bench: extra heap: %w", err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, _, err := victim.Malloc(48, 0); err != nil {
+				return nil, fmt.Errorf("recovery bench: victim alloc %d: %w", i, err)
+			}
+		}
+		svc, err := recovery.NewService(pool)
+		if err != nil {
+			return nil, err
+		}
+		if err := victim.Crash(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := svc.RecoverClient(victim.ID())
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(start)
+		if rep.SweptRoots != n {
+			return nil, fmt.Errorf("recovery bench: swept %d, want %d", rep.SweptRoots, n)
+		}
+		rows = append(rows, RecoveryRow{
+			System: "CXL-SHM", Objects: n, HeapExtra: heapExtra,
+			Duration: d, ObjsPerSec: rate(n, d),
+		})
+
+		// --- pmem GC recovery ---
+		heap, err := pmem.NewHeap(128 << 20)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := heap.NewThread()
+		if err != nil {
+			return nil, err
+		}
+		// Extra live data reachable from a root (the GC must trace it).
+		var prev pmem.Addr
+		for i := 0; i < heapExtra; i++ {
+			a, err := ctx.Alloc(48)
+			if err != nil {
+				return nil, err
+			}
+			heap.Data(a)[0] = prev
+			prev = a
+		}
+		if prev != 0 {
+			if err := heap.SetRoot(0, prev); err != nil {
+				return nil, err
+			}
+		}
+		// The victim's objects: unreachable after its crash.
+		for i := 0; i < n; i++ {
+			if _, err := ctx.Alloc(48); err != nil {
+				return nil, err
+			}
+		}
+		start = time.Now()
+		st := heap.Recover()
+		d = time.Since(start)
+		if st.BlocksSwept < n {
+			return nil, fmt.Errorf("pmem recovery swept %d, want >= %d", st.BlocksSwept, n)
+		}
+		rows = append(rows, RecoveryRow{
+			System: "ralloc* (GC)", Objects: n, HeapExtra: heapExtra,
+			Duration: d, ObjsPerSec: rate(n, d),
+		})
+	}
+	return rows, nil
+}
+
+// SegmentScanBench times the §5.3 asynchronous segment-local scan on one
+// full segment (the paper reports <20 µs per 64 MB segment; ours scales
+// with the configured segment size).
+func SegmentScanBench(scale Scale) (segBytes int, perScan time.Duration, err error) {
+	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients:   4,
+		NumSegments:  8,
+		SegmentWords: 1 << 16, // 512 KiB segments
+		PageWords:    1 << 12,
+	}})
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := pool.Connect()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Fill one segment's worth of live blocks.
+	for i := 0; i < 3000; i++ {
+		if _, _, err := c.Malloc(64, 0); err != nil {
+			return 0, 0, err
+		}
+	}
+	iters := scale.N(200)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		c.ScanSegment(0, false)
+	}
+	per := time.Since(start) / time.Duration(iters)
+	return int(pool.Geometry().SegmentWords) * 8, per, nil
+}
+
+// PrintRecovery renders the recovery comparison.
+func PrintRecovery(w io.Writer, rows []RecoveryRow) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.System, fmt.Sprint(r.Objects), fmt.Sprint(r.HeapExtra),
+			r.Duration.Round(time.Microsecond).String(), f2(r.ObjsPerSec / 1e6)}
+	}
+	PrintTable(w, []string{"System", "VictimObjs", "OtherObjs", "Recovery", "M objs/s"}, out)
+}
+
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cxl"
+)
+
+// Table1Row is one memory type of paper Table 1.
+type Table1Row struct {
+	Type      string
+	SeqMOPS   float64 // sequential 8-byte loads
+	RandMOPS  float64 // random 8-byte loads
+	CASMOPS   float64 // random CAS
+	LatencyNS float64 // dependent-load (pointer chase) latency
+}
+
+// Table1 measures sequential, random, and CAS access rates plus dependent
+// load latency for the three memory profiles the paper compares: local
+// NUMA, remote NUMA, and CXL-attached. The simulated device charges the
+// paper's measured latencies; what the experiment verifies is the *shape* —
+// seq ≫ rand ≫ CAS within each type, local < remote < CXL latency, CAS flat
+// across types.
+func Table1(scale Scale) ([]Table1Row, error) {
+	profiles := []struct {
+		name string
+		lat  cxl.Latency
+	}{
+		{"local NUMA", cxl.LatencyLocalNUMA},
+		{"remote NUMA", cxl.LatencyRemoteNUMA},
+		{"CXL", cxl.LatencyCXL},
+	}
+	const words = 1 << 16
+	ops := scale.N(400_000)
+	var rows []Table1Row
+	for _, p := range profiles {
+		dev, err := cxl.NewDevice(cxl.Config{Words: words + 16, MaxClients: 2, Latency: p.lat})
+		if err != nil {
+			return nil, err
+		}
+		h := dev.Open(1)
+		rng := rand.New(rand.NewSource(7))
+
+		// Every measurement takes the best of three runs: on a shared box the
+		// minimum is the least scheduler-disturbed sample.
+
+		// Sequential loads.
+		seq := bestMOPS(3, ops, func() {
+			for i := 0; i < ops; i++ {
+				h.Load(cxl.Addr(1 + i%words))
+			}
+		})
+
+		// Random loads (precomputed indices so RNG cost stays out).
+		idx := make([]cxl.Addr, 4096)
+		for i := range idx {
+			idx[i] = cxl.Addr(1 + rng.Intn(words))
+		}
+		rnd := bestMOPS(3, ops, func() {
+			for i := 0; i < ops; i++ {
+				h.Load(idx[i&4095])
+			}
+		})
+
+		// Random CAS.
+		casOps := ops / 8
+		cas := bestMOPS(3, casOps, func() {
+			for i := 0; i < casOps; i++ {
+				a := idx[i&4095]
+				h.CAS(a, h.Load(a), uint64(i))
+			}
+		})
+
+		// Dependent-load latency: pointer chase through a random cycle whose
+		// nodes are spread over far more cache lines than the modelled cache
+		// holds, so every hop is a miss.
+		const nodes, stride = 4096, 16
+		perm := rng.Perm(nodes)
+		addrOf := func(i int) cxl.Addr { return cxl.Addr(1 + i*stride) }
+		for i := 0; i < nodes; i++ {
+			dev.Store(addrOf(perm[i]), uint64(addrOf(perm[(i+1)%nodes])))
+		}
+		cur := addrOf(perm[0])
+		n := scale.N(100_000)
+		if n < 20_000 {
+			// The latency measurement needs enough hops to average out
+			// scheduler noise regardless of the requested scale.
+			n = 20_000
+		}
+		lat := 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				cur = cxl.Addr(h.Load(cur))
+			}
+			l := float64(time.Since(start).Nanoseconds()) / float64(n)
+			if rep == 0 || l < lat {
+				lat = l
+			}
+		}
+		_ = cur
+
+		rows = append(rows, Table1Row{
+			Type: p.name, SeqMOPS: seq, RandMOPS: rnd, CASMOPS: cas, LatencyNS: lat,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Type, f2(r.SeqMOPS), f2(r.RandMOPS), f2(r.CASMOPS), f1(r.LatencyNS) + " ns"}
+	}
+	PrintTable(w, []string{"Type", "Seq MOPS", "Rand MOPS", "RandCAS MOPS", "Latency"}, out)
+}
+
+func mops(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// bestMOPS runs f reps times and returns the highest throughput observed.
+func bestMOPS(reps, ops int, f func()) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if m := mops(ops, time.Since(start)); m > best {
+			best = m
+		}
+	}
+	return best
+}

@@ -1,0 +1,272 @@
+// Package check validates a quiescent CXL-SHM pool against the three
+// failure classes the paper's fault-injection study looks for (§6.2.2):
+// leaked memory, double frees, and wild pointers.
+//
+// The validator recomputes every object's expected reference count from
+// first principles — RootRef slots, embedded references (which include
+// queue slots) — and compares it with the count stored in each header. It
+// also audits allocator structures: free-list membership, page accounting,
+// segment states.
+//
+// The pool must be quiescent (no client mid-operation, recovery completed);
+// validation of a running pool reports spurious issues by design.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// IssueKind classifies a validation failure.
+type IssueKind string
+
+// Issue kinds.
+const (
+	Leak          IssueKind = "leak"          // allocated object with more counted refs than actual references
+	WildPointer   IssueKind = "wild-pointer"  // reference to a non-allocated block
+	DoubleFree    IssueKind = "double-free"   // block present on multiple free lists
+	UnderCount    IssueKind = "under-count"   // fewer counted refs than actual references
+	StuckReclaim  IssueKind = "stuck-reclaim" // refcount-zero object never reclaimed
+	LostFreeBlock IssueKind = "lost-free"     // free-marked block on no list
+	BadStructure  IssueKind = "bad-structure" // corrupt allocator metadata
+)
+
+// Issue is one validation failure.
+type Issue struct {
+	Kind   IssueKind
+	Addr   layout.Addr
+	Detail string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s @%#x: %s", i.Kind, i.Addr, i.Detail) }
+
+// Result summarizes a validation pass.
+type Result struct {
+	Issues []Issue
+
+	AllocatedObjects int
+	FreeBlocks       int
+	RootRefsInUse    int
+	SegmentsActive   int
+	SegmentsFree     int
+	SegmentsOther    int
+}
+
+// Clean reports whether validation found no issues.
+func (r *Result) Clean() bool { return len(r.Issues) == 0 }
+
+func (r *Result) add(kind IssueKind, addr layout.Addr, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Kind: kind, Addr: addr, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Validate audits the whole pool.
+func Validate(p *shm.Pool) *Result {
+	v := &validator{
+		p:        p,
+		geo:      p.Geometry(),
+		res:      &Result{},
+		expected: make(map[layout.Addr]int),
+		alloc:    make(map[layout.Addr]layout.Header),
+		free:     make(map[layout.Addr]int),
+	}
+	v.walkNamedRoots()
+	v.walkSegments()
+	v.crossCheck()
+	return v.res
+}
+
+type validator struct {
+	p   *shm.Pool
+	geo *layout.Geometry
+	res *Result
+
+	// expected counts references found pointing at each block.
+	expected map[layout.Addr]int
+	// alloc maps allocated block -> header.
+	alloc map[layout.Addr]layout.Header
+	// free maps free block -> number of free-list memberships.
+	free map[layout.Addr]int
+}
+
+func (v *validator) load(a layout.Addr) uint64 { return v.p.Device().Load(a) }
+
+func (v *validator) walkNamedRoots() {
+	for i := 0; i < layout.MaxNamedRoots; i++ {
+		if t := v.load(v.geo.RootDirAddr(i)); t != 0 {
+			v.expected[t]++
+		}
+	}
+}
+
+func (v *validator) walkSegments() {
+	for seg := 0; seg < v.geo.NumSegments; seg++ {
+		st := layout.UnpackSegState(v.load(v.geo.SegStateAddr(seg)))
+		switch st.State {
+		case layout.SegFree:
+			v.res.SegmentsFree++
+		case layout.SegActive:
+			v.res.SegmentsActive++
+			v.walkPagedSegment(seg)
+		case layout.SegAbandoned:
+			v.res.SegmentsOther++
+			v.walkPagedSegment(seg)
+		case layout.SegHugeHead:
+			v.res.SegmentsOther++
+			v.walkHuge(seg, st)
+		case layout.SegHugeBody:
+			v.res.SegmentsOther++
+		default:
+			v.res.add(BadStructure, v.geo.SegStateAddr(seg),
+				"segment %d in unknown state %d", seg, st.State)
+		}
+	}
+}
+
+func (v *validator) walkHuge(seg int, st layout.SegState) {
+	block := v.geo.SegmentBase(seg)
+	hdr := layout.UnpackHeader(v.load(block + layout.HeaderOff))
+	m := layout.UnpackMeta(v.load(block + layout.MetaOff))
+	if !m.Allocated() {
+		v.res.add(BadStructure, block, "huge head segment %d without allocated meta", seg)
+		return
+	}
+	v.alloc[block] = hdr
+	v.res.AllocatedObjects++
+	v.recordEmbeds(block, m)
+}
+
+func (v *validator) walkPagedSegment(seg int) {
+	numPages := int(v.load(v.geo.SegNextPageAddr(seg)))
+	if numPages > v.geo.PagesPerSegment {
+		v.res.add(BadStructure, v.geo.SegNextPageAddr(seg),
+			"segment %d claims %d pages (max %d)", seg, numPages, v.geo.PagesPerSegment)
+		numPages = v.geo.PagesPerSegment
+	}
+
+	// Free-list membership, per page and segment-wide client_free.
+	for pg := 0; pg < numPages; pg++ {
+		metaA := v.geo.PageMetaAddr(seg, pg)
+		info := layout.UnpackPageMeta(v.load(metaA + pmInfo))
+		nextOff := layout.Addr(layout.DataOff)
+		if info.Kind == layout.PageKindRootRef {
+			nextOff = layout.RootRefPptrOff
+		}
+		seen := 0
+		for b := v.load(metaA + pmFree); b != 0; b = v.load(b + nextOff) {
+			v.free[b]++
+			seen++
+			if seen > int(v.geo.PageWords) {
+				v.res.add(BadStructure, metaA, "free list of %d/%d does not terminate", seg, pg)
+				break
+			}
+		}
+	}
+	seen := 0
+	for b := v.load(v.geo.SegClientFreeAddr(seg)); b != 0; b = v.load(b + layout.DataOff) {
+		v.free[b]++
+		seen++
+		if seen > int(v.geo.SegmentWords) {
+			v.res.add(BadStructure, v.geo.SegClientFreeAddr(seg),
+				"client_free list of segment %d does not terminate", seg)
+			break
+		}
+	}
+
+	for pg := 0; pg < numPages; pg++ {
+		metaA := v.geo.PageMetaAddr(seg, pg)
+		info := layout.UnpackPageMeta(v.load(metaA + pmInfo))
+		base := v.geo.PageBase(seg, pg)
+		end := base + layout.Addr(v.geo.PageWords)
+		scanPos := v.load(metaA + pmScan)
+		if scanPos < uint64(base) || scanPos > uint64(end) {
+			v.res.add(BadStructure, metaA, "page %d/%d bump pointer %#x outside page", seg, pg, scanPos)
+			continue
+		}
+		switch info.Kind {
+		case layout.PageKindRootRef:
+			for slot := base; slot+layout.RootRefWords <= layout.Addr(scanPos); slot += layout.RootRefWords {
+				inUse, _ := layout.UnpackRootRef(v.load(slot))
+				if !inUse {
+					if v.free[slot] == 0 {
+						v.res.add(LostFreeBlock, slot, "free RootRef slot on no list (%d/%d)", seg, pg)
+					}
+					continue
+				}
+				v.res.RootRefsInUse++
+				if v.free[slot] > 0 {
+					v.res.add(DoubleFree, slot, "in-use RootRef slot also on a free list")
+				}
+				if pptr := v.load(slot + layout.RootRefPptrOff); pptr != 0 {
+					v.expected[pptr]++
+				}
+			}
+		case layout.PageKindNormal:
+			if int(info.SizeClass) >= len(v.geo.Classes) {
+				v.res.add(BadStructure, metaA, "page %d/%d has bad size class %d", seg, pg, info.SizeClass)
+				continue
+			}
+			bw := layout.Addr(v.geo.Classes[info.SizeClass].BlockWords)
+			for b := base; b+bw <= layout.Addr(scanPos); b += bw {
+				m := layout.UnpackMeta(v.load(b + layout.MetaOff))
+				if m.Allocated() {
+					hdr := layout.UnpackHeader(v.load(b + layout.HeaderOff))
+					v.alloc[b] = hdr
+					v.res.AllocatedObjects++
+					if v.free[b] > 0 {
+						v.res.add(DoubleFree, b, "allocated block also on a free list")
+					}
+					v.recordEmbeds(b, m)
+				} else {
+					v.res.FreeBlocks++
+					switch v.free[b] {
+					case 0:
+						v.res.add(LostFreeBlock, b, "free block on no list (%d/%d)", seg, pg)
+					case 1:
+						// fine
+					default:
+						v.res.add(DoubleFree, b, "block on %d free lists", v.free[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+func (v *validator) recordEmbeds(b layout.Addr, m layout.Meta) {
+	for i := 0; i < int(m.EmbedCnt); i++ {
+		if t := v.load(b + layout.DataOff + layout.Addr(i)); t != 0 {
+			v.expected[t]++
+		}
+	}
+}
+
+// crossCheck compares counted versus actual references.
+func (v *validator) crossCheck() {
+	for b, hdr := range v.alloc {
+		exp := v.expected[b]
+		switch {
+		case int(hdr.RefCnt) == exp && exp == 0:
+			v.res.add(StuckReclaim, b, "allocated with zero references and zero count (never reclaimed)")
+		case int(hdr.RefCnt) > exp:
+			v.res.add(Leak, b, "ref_cnt=%d but only %d references found", hdr.RefCnt, exp)
+		case int(hdr.RefCnt) < exp:
+			v.res.add(UnderCount, b, "ref_cnt=%d but %d references found", hdr.RefCnt, exp)
+		}
+	}
+	// Every reference must point at an allocated block.
+	for t, n := range v.expected {
+		if _, ok := v.alloc[t]; !ok {
+			v.res.add(WildPointer, t, "%d reference(s) to a non-allocated block", n)
+		}
+	}
+}
+
+// Page meta word offsets (mirrors internal/shm's layout of the 3-word page
+// meta area).
+const (
+	pmInfo = 0
+	pmFree = 1
+	pmScan = 2
+)

@@ -1,0 +1,220 @@
+package check_test
+
+// The validator is the oracle of the fault-injection study, so it needs its
+// own negative tests: deliberately corrupt a healthy pool in each of the
+// ways the §6.2.2 study looks for and verify the corresponding issue is
+// reported. A checker that can't see planted corruption proves nothing.
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+func newPool(t *testing.T) *shm.Pool {
+	t.Helper()
+	p, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 4, NumSegments: 8, SegmentWords: 1 << 13, PageWords: 1 << 9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func hasIssue(res *check.Result, kind check.IssueKind) bool {
+	for _, is := range res.Issues {
+		if is.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanPoolValidates(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, _, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Validate(p); !res.Clean() {
+		t.Fatalf("healthy pool reported issues: %v", res.Issues)
+	}
+	if _, err := c.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Validate(p); !res.Clean() {
+		t.Fatalf("healthy pool reported issues after release: %v", res.Issues)
+	}
+}
+
+func TestDetectsLeak(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: inflate the reference count without adding a reference.
+	hdr := c.HeaderOf(block)
+	hdr.RefCnt++
+	p.Device().Store(block+layout.HeaderOff, layout.PackHeader(hdr))
+	res := check.Validate(p)
+	if !hasIssue(res, check.Leak) {
+		t.Fatalf("inflated refcount not reported as leak: %v", res.Issues)
+	}
+	_ = root
+}
+
+func TestDetectsUnderCount(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	_, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop the count below the actual reference population.
+	hdr := c.HeaderOf(block)
+	hdr.RefCnt = 0
+	p.Device().Store(block+layout.HeaderOff, layout.PackHeader(hdr))
+	res := check.Validate(p)
+	if !hasIssue(res, check.UnderCount) && !hasIssue(res, check.StuckReclaim) {
+		t.Fatalf("under-counted object not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsWildPointer(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	_, parent, err := c.Malloc(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimRoot, victim, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(victimRoot); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: plant the freed block's address in an embedded reference
+	// without attaching (no count, target already free).
+	p.Device().Store(parent+layout.DataOff, victim)
+	res := check.Validate(p)
+	if !hasIssue(res, check.WildPointer) {
+		t.Fatalf("dangling embedded reference not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsStuckReclaim(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: zero the count AND null the RootRef without freeing the block
+	// (a reclaim that never happened).
+	hdr := c.HeaderOf(block)
+	hdr.RefCnt = 0
+	p.Device().Store(block+layout.HeaderOff, layout.PackHeader(hdr))
+	p.Device().Store(root+layout.RootRefPptrOff, 0)
+	res := check.Validate(p)
+	if !hasIssue(res, check.StuckReclaim) {
+		t.Fatalf("unreclaimed zero-count object not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsDoubleFree(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: push the freed block onto its page free list a second time
+	// through the segment's client_free list.
+	geo := p.Geometry()
+	seg := geo.SegmentIndexOf(block)
+	cf := geo.SegClientFreeAddr(seg)
+	p.Device().Store(block+layout.DataOff, p.Device().Load(cf))
+	p.Device().Store(cf, block)
+	res := check.Validate(p)
+	if !hasIssue(res, check.DoubleFree) {
+		t.Fatalf("double-listed block not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsLostFreeBlock(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: detach the freed block from its page free list.
+	geo := p.Geometry()
+	seg := geo.SegmentIndexOf(block)
+	pg := geo.PageIndexOf(seg, block)
+	metaA := geo.PageMetaAddr(seg, pg)
+	if p.Device().Load(metaA+1) != block { // pmFree
+		t.Skip("block not at free-list head; layout changed")
+	}
+	p.Device().Store(metaA+1, p.Device().Load(block+layout.DataOff))
+	res := check.Validate(p)
+	if !hasIssue(res, check.LostFreeBlock) {
+		t.Fatalf("lost free block not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsBadStructure(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	if _, _, err := c.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: claim more pages than a segment has.
+	geo := p.Geometry()
+	p.Device().Store(geo.SegNextPageAddr(0), uint64(geo.PagesPerSegment+5))
+	res := check.Validate(p)
+	if !hasIssue(res, check.BadStructure) {
+		t.Fatalf("bad page counter not reported: %v", res.Issues)
+	}
+}
+
+func TestNamedRootCountsAsReference(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishRoot(2, block); err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Validate(p); !res.Clean() {
+		t.Fatalf("published root flagged: %v", res.Issues)
+	}
+	// Dropping the client's own ref leaves the named root holding the object.
+	if freed, err := c.ReleaseRoot(root); err != nil || freed {
+		t.Fatalf("freed=%v err=%v", freed, err)
+	}
+	if res := check.Validate(p); !res.Clean() || res.AllocatedObjects != 1 {
+		t.Fatalf("named-root-held object flagged: %v", res.Issues)
+	}
+	if err := c.UnpublishRoot(2); err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Validate(p); !res.Clean() || res.AllocatedObjects != 0 {
+		t.Fatalf("after unpublish: %d objects, %v", res.AllocatedObjects, res.Issues)
+	}
+}

@@ -1,0 +1,210 @@
+// Package cxl simulates a CXL-attached shared memory device.
+//
+// The paper's hardware platform maps one external CXL memory device into the
+// physical address space of multiple compute nodes, forming a single cache
+// coherency domain that supports plain loads/stores plus atomic
+// compare-and-swap. This package models that device as a word-addressable
+// pool backed by a []uint64. Every access goes through sync/atomic, so all
+// clients (goroutines standing in for threads/processes/machines) observe a
+// linearizable shared memory exactly as CXL 3.0 memory sharing promises.
+//
+// Addresses are 64-bit word offsets from the beginning of the pool
+// (machine-independent pointers, like PMDK-style offsets). Address 0 is
+// reserved as the nil pointer.
+//
+// The device also models two failure-related hardware features:
+//
+//   - RAS fencing: once a client ID is fenced (Device.FenceClient), stores
+//     and CAS issued through that client's Handle are silently dropped,
+//     modelling "the failed client cannot modify the shared memory pool
+//     after its recovery has started" (paper §3.2).
+//   - Flush/fence accounting: Handle.Flush and Handle.SFence count
+//     invocations and optionally burn a configurable latency, so the
+//     Figure 7 cost breakdown can be reproduced.
+package cxl
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Addr is a machine-independent pointer: a word offset into the device.
+// Addr 0 is the nil pointer.
+type Addr = uint64
+
+// WordBytes is the size of one device word.
+const WordBytes = 8
+
+// LineWords is the number of words per modelled cache line.
+const LineWords = 8
+
+// Device is a simulated CXL-attached shared memory pool.
+//
+// All word accesses are atomic. Concurrent use by any number of Handles is
+// safe; the zero value is not usable, construct with NewDevice.
+type Device struct {
+	words []uint64
+	// fenced[cid] is nonzero once client cid has been RAS-fenced.
+	fenced []atomic.Uint32
+
+	lat Latency
+
+	// countAccesses enables the per-access statistics counters. Off by
+	// default: a shared atomic counter on every load would serialize the
+	// very accesses whose scalability the benchmarks measure.
+	countAccesses bool
+
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+	loads   atomic.Uint64
+	stores  atomic.Uint64
+	cases   atomic.Uint64
+}
+
+// Config configures a Device.
+type Config struct {
+	// Words is the pool size in 8-byte words. Must be > 0.
+	Words int
+	// MaxClients bounds the client IDs that can be fenced. Must be > 0.
+	MaxClients int
+	// Latency optionally injects per-access latency (see Latency).
+	Latency Latency
+	// CountAccesses enables load/store/CAS statistics (adds a shared atomic
+	// increment to every access; keep off for benchmarks).
+	CountAccesses bool
+}
+
+// NewDevice creates a device of cfg.Words words, all zero.
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.Words <= 0 {
+		return nil, fmt.Errorf("cxl: pool size must be positive, got %d words", cfg.Words)
+	}
+	if cfg.MaxClients <= 0 {
+		return nil, fmt.Errorf("cxl: MaxClients must be positive, got %d", cfg.MaxClients)
+	}
+	d := &Device{
+		words:         make([]uint64, cfg.Words),
+		fenced:        make([]atomic.Uint32, cfg.MaxClients+1),
+		lat:           cfg.Latency,
+		countAccesses: cfg.CountAccesses,
+	}
+	return d, nil
+}
+
+// Words reports the size of the pool in words.
+func (d *Device) Words() int { return len(d.words) }
+
+// Bytes reports the size of the pool in bytes.
+func (d *Device) Bytes() int { return len(d.words) * WordBytes }
+
+// check panics on an out-of-range address. A real device would machine-check;
+// in the simulation an out-of-range access is always an implementation bug,
+// never a recoverable condition, so panicking is the correct response.
+func (d *Device) check(a Addr) {
+	if a == 0 || a >= uint64(len(d.words)) {
+		panic(fmt.Sprintf("cxl: wild device access at word %#x (pool %d words)", a, len(d.words)))
+	}
+}
+
+// Load atomically reads the word at a.
+func (d *Device) Load(a Addr) uint64 {
+	d.check(a)
+	if d.countAccesses {
+		d.loads.Add(1)
+	}
+	return atomic.LoadUint64(&d.words[a])
+}
+
+// Store atomically writes v to the word at a, ignoring fencing. It is used
+// by the recovery service and by pool initialization. Client code must go
+// through a Handle so RAS fencing applies.
+func (d *Device) Store(a Addr, v uint64) {
+	d.check(a)
+	if d.countAccesses {
+		d.stores.Add(1)
+	}
+	atomic.StoreUint64(&d.words[a], v)
+}
+
+// CAS atomically compares-and-swaps the word at a, ignoring fencing.
+func (d *Device) CAS(a Addr, old, new uint64) bool {
+	d.check(a)
+	if d.countAccesses {
+		d.cases.Add(1)
+	}
+	return atomic.CompareAndSwapUint64(&d.words[a], old, new)
+}
+
+// FenceClient RAS-fences client cid: all subsequent stores and CAS issued
+// through a Handle opened for cid are dropped. Idempotent.
+func (d *Device) FenceClient(cid int) {
+	if cid <= 0 || cid >= len(d.fenced) {
+		return
+	}
+	d.fenced[cid].Store(1)
+}
+
+// UnfenceClient lifts the RAS fence for cid (used when a recovered client
+// slot is handed to a fresh client).
+func (d *Device) UnfenceClient(cid int) {
+	if cid <= 0 || cid >= len(d.fenced) {
+		return
+	}
+	d.fenced[cid].Store(0)
+}
+
+// ClientFenced reports whether cid is currently fenced.
+func (d *Device) ClientFenced(cid int) bool {
+	if cid <= 0 || cid >= len(d.fenced) {
+		return false
+	}
+	return d.fenced[cid].Load() != 0
+}
+
+// Snapshot copies the entire pool contents — the moral equivalent of the
+// CXL device keeping its memory across compute-node reboots (it has its own
+// PSU, paper §2.1/Figure 1). Use RestoreDevice to bring it back.
+func (d *Device) Snapshot() []uint64 {
+	out := make([]uint64, len(d.words))
+	for i := range d.words {
+		out[i] = atomic.LoadUint64(&d.words[i])
+	}
+	return out
+}
+
+// RestoreDevice creates a device initialized from a snapshot. The snapshot
+// length fixes the pool size; cfg.Words is ignored.
+func RestoreDevice(cfg Config, snapshot []uint64) (*Device, error) {
+	cfg.Words = len(snapshot)
+	d, err := NewDevice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.words, snapshot)
+	return d, nil
+}
+
+// Stats is a snapshot of device access counters.
+type Stats struct {
+	Loads, Stores, CASes, Flushes, Fences uint64
+}
+
+// Stats returns a snapshot of the access counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Loads:   d.loads.Load(),
+		Stores:  d.stores.Load(),
+		CASes:   d.cases.Load(),
+		Flushes: d.flushes.Load(),
+		Fences:  d.fences.Load(),
+	}
+}
+
+// ResetStats zeroes the access counters.
+func (d *Device) ResetStats() {
+	d.loads.Store(0)
+	d.stores.Store(0)
+	d.cases.Store(0)
+	d.flushes.Store(0)
+	d.fences.Store(0)
+}

@@ -1,0 +1,82 @@
+package cxl
+
+import "time"
+
+// Latency injects per-access delays so the relative performance of local
+// NUMA, remote NUMA, and CXL-attached memory (paper Table 1) can be
+// reproduced on commodity hardware. All values are nanoseconds; zero
+// disables that component.
+//
+// The model is deliberately simple: each Handle keeps a small direct-mapped
+// cache of recently touched 64-byte lines. A hit is free; a miss costs
+// MissNS. CAS always pays CASNS and invalidates the line. Sequential scans
+// therefore miss once per line (1/8 of word accesses) while random access
+// misses almost always — which yields the seq≫rand≫CAS ordering and the
+// local<remote<CXL latency ordering the paper measures, without pretending
+// to model a real memory hierarchy.
+type Latency struct {
+	MissNS  int // line fill latency on a modelled cache miss
+	CASNS   int // latency of an atomic RMW (coherence round trip)
+	FlushNS int // latency charged by Handle.Flush (CLWB)
+	FenceNS int // latency charged by Handle.SFence
+}
+
+func (l *Latency) enabled() bool { return l.MissNS > 0 || l.CASNS > 0 }
+
+// Canonical profiles matching Table 1's three memory types. The absolute
+// values are the paper's measured random-access latencies; what matters for
+// the reproduction is their ordering and ratios.
+var (
+	// LatencyLocalNUMA models a local NUMA node (paper: 110 ns).
+	LatencyLocalNUMA = Latency{MissNS: 110, CASNS: 300}
+	// LatencyRemoteNUMA models a remote NUMA node (paper: 200 ns).
+	LatencyRemoteNUMA = Latency{MissNS: 200, CASNS: 300}
+	// LatencyCXL models CXL-attached memory (paper: 390 ns).
+	LatencyCXL = Latency{MissNS: 390, CASNS: 300}
+)
+
+// spin busy-waits for approximately ns nanoseconds. It deliberately burns
+// CPU instead of sleeping: the latencies being modelled (hundreds of ns) are
+// far below scheduler granularity.
+func spin(ns int) {
+	if ns <= 0 {
+		return
+	}
+	start := time.Now()
+	target := time.Duration(ns)
+	for time.Since(start) < target {
+	}
+}
+
+// lineCache is a tiny direct-mapped cache of line addresses, used only by
+// the latency model. 512 lines = 32 KiB modelled cache.
+type lineCache struct {
+	lines [512]Addr
+	init  bool
+}
+
+// touch records an access to the line containing a and reports whether it
+// was already cached.
+func (c *lineCache) touch(a Addr) bool {
+	line := a / LineWords
+	slot := line % uint64(len(c.lines))
+	if !c.init {
+		// Lazily distinguish "empty slot" from "line 0": bias stored values
+		// by +1 so zero means empty.
+		c.init = true
+	}
+	if c.lines[slot] == line+1 {
+		return true
+	}
+	c.lines[slot] = line + 1
+	return false
+}
+
+// invalidate drops the line containing a from the cache.
+func (c *lineCache) invalidate(a Addr) {
+	line := a / LineWords
+	slot := line % uint64(len(c.lines))
+	if c.lines[slot] == line+1 {
+		c.lines[slot] = 0
+	}
+}

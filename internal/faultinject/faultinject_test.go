@@ -1,0 +1,92 @@
+package faultinject
+
+import "testing"
+
+func TestNilInjectorNeverCrashes(t *testing.T) {
+	var in *Injector
+	for _, p := range AllPoints {
+		in.Hit(p) // must not panic
+	}
+	if in.Hits() != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+}
+
+func TestAtCrashesOnNthOccurrence(t *testing.T) {
+	in := At(AfterCommitCAS, 3)
+	crash := Run(func() {
+		for i := 0; i < 10; i++ {
+			in.Hit(AfterRedoLog) // different point: ignored
+			in.Hit(AfterCommitCAS)
+		}
+	})
+	if crash == nil {
+		t.Fatal("expected crash")
+	}
+	if crash.Point != AfterCommitCAS {
+		t.Fatalf("crashed at %s", crash.Point)
+	}
+	if in.Hits() != 3 {
+		t.Fatalf("hits = %d, want 3", in.Hits())
+	}
+}
+
+func TestAtClampsZeroOccurrence(t *testing.T) {
+	in := At(AfterLink, 0)
+	crash := Run(func() { in.Hit(AfterLink) })
+	if crash == nil {
+		t.Fatal("occurrence 0 must clamp to 1 and crash on first hit")
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	// Count hits until the first crash; the schedule must replay per seed.
+	hitsUntilCrash := func(seed int64) int {
+		in := Random(seed, 0.05)
+		crashed := Run(func() {
+			for i := 0; i < 1_000_000; i++ {
+				in.Hit(AfterRedoLog)
+			}
+		})
+		if crashed == nil {
+			t.Fatalf("seed %d never crashed in 1M hits at p=0.05", seed)
+		}
+		return in.Hits()
+	}
+	a, b := hitsUntilCrash(7), hitsUntilCrash(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d hits until crash", a, b)
+	}
+	if a < 1 {
+		t.Fatal("crash before any hit")
+	}
+}
+
+func TestRunPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic must propagate through Run")
+		}
+	}()
+	Run(func() { panic("not a crash") })
+}
+
+func TestCrashErrorString(t *testing.T) {
+	c := Crash{Point: AfterLink}
+	if c.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestAllPointsAreDistinct(t *testing.T) {
+	seen := map[Point]bool{}
+	for _, p := range AllPoints {
+		if seen[p] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("only %d crash points registered", len(seen))
+	}
+}

@@ -1,0 +1,172 @@
+package kv_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func TestHazardFlagSharedThroughIndex(t *testing.T) {
+	p := newPool(t)
+	w := connect(t, p)
+	s, err := kv.Create(w, 0, 64, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HazardReads() {
+		t.Fatal("hazard on by default")
+	}
+	s.EnableHazardReads()
+	r := connect(t, p)
+	sr, err := kv.Open(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.HazardReads() {
+		t.Fatal("opened handle did not inherit the hazard flag")
+	}
+}
+
+func TestHazardDeleteDefersAndMaintainReclaims(t *testing.T) {
+	p := newPool(t)
+	w := connect(t, p)
+	s, err := kv.Create(w, 0, 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableHazardReads()
+	for k := uint64(0); k < 50; k++ {
+		if err := s.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A reader holds a hazard era across the deletes.
+	r := connect(t, p)
+	sr, err := kv.Open(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sr
+	r.EnterRead()
+	for k := uint64(0); k < 50; k += 2 {
+		if err := s.Delete(k); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+	}
+	if got := w.RetiredCount(); got != 25 {
+		t.Fatalf("retired=%d, want 25", got)
+	}
+	if freed := s.Maintain(); freed != 0 {
+		t.Fatalf("maintain reclaimed %d under a live reader", freed)
+	}
+	r.ExitRead()
+	if freed := s.Maintain(); freed != 25 {
+		t.Fatalf("maintain reclaimed %d after reader exit, want 25", freed)
+	}
+	// Deleted keys are gone; survivors intact.
+	buf := make([]byte, 8)
+	for k := uint64(0); k < 50; k++ {
+		_, err := s.Get(k, buf)
+		if k%2 == 0 && err != kv.ErrNotFound {
+			t.Fatalf("deleted %d: %v", k, err)
+		}
+		if k%2 == 1 && (err != nil || buf[0] != byte(k)) {
+			t.Fatalf("survivor %d: %v %v", k, buf[0], err)
+		}
+	}
+	mustClean(t, p)
+}
+
+// TestHazardConcurrentReadDuringDelete hammers a hazard-protected store with
+// concurrent readers while the writer deletes and reinserts: readers must
+// never observe a record whose value contradicts its key (the use-after-free
+// corruption hazard reads exist to prevent).
+func TestHazardConcurrentReadDuringDelete(t *testing.T) {
+	p := newPool(t)
+	w := connect(t, p)
+	s, err := kv.Create(w, 0, 32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableHazardReads()
+	const keys = 64
+	for k := uint64(0); k < keys; k++ {
+		if err := s.Put(k, []byte{byte(k), ^byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rc, err := p.Connect()
+			if err != nil {
+				errs <- err
+				return
+			}
+			rs, err := kv.Open(rc, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, 8)
+			for i := uint64(0); !stop.Load(); i++ {
+				k := (i*7 + uint64(g)) % keys
+				n, err := rs.Get(k, buf)
+				if err == kv.ErrNotFound || err == kv.ErrChainBroke {
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n >= 2 && (buf[0] != byte(k) || buf[1] != ^byte(k)) {
+					errs <- errValueCorruptf(k, buf[0], buf[1])
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	// The single writer churns: delete + reinsert + periodic maintain.
+	for round := 0; round < 300; round++ {
+		k := uint64(round) % keys
+		if err := s.Delete(k); err != nil && err != kv.ErrNotFound {
+			t.Fatal(err)
+		}
+		if err := s.Put(k, []byte{byte(k), ^byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if round%20 == 0 {
+			s.Maintain()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final maintain may still be gated by readers that exited without
+	// ExitRead? No — readers never EnterRead explicitly here; Get pairs
+	// Enter/Exit internally. Everything must reclaim.
+	if freed := s.Maintain(); w.RetiredCount() != 0 && freed == 0 {
+		t.Fatalf("retired nodes stuck: %d", w.RetiredCount())
+	}
+	mustClean(t, p)
+}
+
+type errValueCorrupt [3]byte
+
+func (e errValueCorrupt) Error() string {
+	return "kv: reader observed corrupt value"
+}
+
+func errValueCorruptf(k uint64, a, b byte) error { return errValueCorrupt{byte(k), a, b} }

@@ -1,0 +1,382 @@
+// Package kv implements the paper's shared-everything distributed key-value
+// store (CXL-KV, §6.4) and its baselines.
+//
+// CXL-KV is a fixed-size latch-free hash index whose buckets are embedded
+// references to key-value records; collisions chain records through each
+// record's embedded next pointer. The three CXL-SHM capabilities §6.4 lists
+// make it possible: frequent fine-grained shareable allocation, atomic
+// in-place updates, and machine-independent pointers embeddable in other
+// objects.
+//
+// Concurrency model: single-writer-multi-reader per partition. Keys are
+// partitioned across writers by hash; readers from any client read the
+// entire index directly. Writer failover (takeover of a dead writer's
+// partition) is pure metadata — no data movement (§6.4's repartitioning
+// claim).
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// Store errors.
+var (
+	ErrNotFound   = errors.New("kv: key not found")
+	ErrValueSize  = errors.New("kv: value exceeds the store's fixed value size")
+	ErrNotOwner   = errors.New("kv: client does not own this key's partition")
+	ErrChainBroke = errors.New("kv: chain traversal aborted (concurrent reclaim)")
+)
+
+// Index object data layout (word offsets within the data area):
+//
+//	[0 .. buckets)              bucket heads (embedded references)
+//	[buckets+0]                 bucket count
+//	[buckets+1]                 fixed value size in bytes
+//	[buckets+2]                 number of writer partitions
+//	[buckets+3]                 flags (hazard-protected reads)
+//	[buckets+4 .. +4+writers)   writer lease words (owner client ID)
+//
+// Record object layout:
+//
+//	embed[0] = next record      (embedded reference)
+//	word 1   = key
+//	word 2.. = value bytes
+const (
+	recNextIdx   = 0
+	recKeyWord   = 1
+	recValueWord = 2
+)
+
+// Store is one client's handle onto a shared CXL-KV index.
+type Store struct {
+	c       *shm.Client
+	index   layout.Addr
+	root    layout.Addr // this client's counted reference to the index
+	buckets int
+	valSize int
+	writers int
+	// hazard enables the §5.4 hazard-era read protocol: readers publish
+	// eras around traversals and deletes retire nodes instead of freeing
+	// them, making concurrent read-during-delete safe.
+	hazard bool
+}
+
+// storeFlagHazard marks the index as hazard-protected.
+const storeFlagHazard = 1 << 0
+
+// Create allocates a new index and publishes it at named-root slot rootSlot.
+func Create(c *shm.Client, rootSlot, buckets, valueSize, writers int) (*Store, error) {
+	if buckets < 1 || valueSize < 1 || writers < 1 {
+		return nil, fmt.Errorf("kv: bad parameters buckets=%d valueSize=%d writers=%d",
+			buckets, valueSize, writers)
+	}
+	dataBytes := (buckets + 4 + writers) * layout.WordBytes
+	root, index, err := c.Malloc(dataBytes, buckets)
+	if err != nil {
+		return nil, err
+	}
+	c.StoreWord(index, buckets+0, uint64(buckets))
+	c.StoreWord(index, buckets+1, uint64(valueSize))
+	c.StoreWord(index, buckets+2, uint64(writers))
+	c.StoreWord(index, buckets+3, 0)
+	if err := c.PublishRoot(rootSlot, index); err != nil {
+		return nil, err
+	}
+	return &Store{c: c, index: index, root: root,
+		buckets: buckets, valSize: valueSize, writers: writers}, nil
+}
+
+// Open attaches to the index published at named-root slot rootSlot.
+func Open(c *shm.Client, rootSlot int) (*Store, error) {
+	root, index, err := c.OpenRoot(rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{c: c, index: index, root: root}
+	// The bucket count lives right after the embed area, whose size equals
+	// the bucket count — read it from the object's meta instead.
+	m := c.MetaOf(index)
+	s.buckets = int(m.EmbedCnt)
+	s.valSize = int(c.LoadWord(index, s.buckets+1))
+	s.writers = int(c.LoadWord(index, s.buckets+2))
+	s.hazard = c.LoadWord(index, s.buckets+3)&storeFlagHazard != 0
+	return s, nil
+}
+
+// EnableHazardReads switches the store (all handles that Open it afterwards,
+// plus this one) to the hazard-era protocol: reads publish hazard eras and
+// deletes retire nodes for deferred reclamation, making concurrent
+// read-during-delete safe (§5.4). Call on the creator's handle before
+// sharing the store.
+func (s *Store) EnableHazardReads() {
+	s.hazard = true
+	s.c.StoreWord(s.index, s.buckets+3, storeFlagHazard)
+}
+
+// HazardReads reports whether the store uses the hazard-era protocol.
+func (s *Store) HazardReads() bool { return s.hazard }
+
+// Maintain reclaims retired nodes that no live reader can still hold.
+// Writers on hazard-protected stores should call it periodically; it is a
+// no-op otherwise. Returns how many nodes were reclaimed.
+func (s *Store) Maintain() int {
+	if !s.hazard {
+		return 0
+	}
+	return s.c.ReclaimRetired()
+}
+
+// Close releases this client's reference to the index.
+func (s *Store) Close() error {
+	if s.root == 0 {
+		return nil
+	}
+	_, err := s.c.ReleaseRoot(s.root)
+	s.root = 0
+	return err
+}
+
+// IndexAddr returns the shared index address (diagnostics).
+func (s *Store) IndexAddr() layout.Addr { return s.index }
+
+// ValueSize returns the store's fixed value size.
+func (s *Store) ValueSize() int { return s.valSize }
+
+// Writers returns the partition count.
+func (s *Store) Writers() int { return s.writers }
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (s *Store) bucketOf(key uint64) int { return int(hash64(key) % uint64(s.buckets)) }
+
+// Partition computes the writer partition for key given the store shape.
+// Partitioning is by bucket so an entire collision chain — including the
+// bucket head's embedded reference — has exactly one writer (the
+// single-writer-multi-reader rule of §4.3 applies to every reference word).
+func Partition(key uint64, buckets, writers int) int {
+	return int(hash64(key)%uint64(buckets)) % writers
+}
+
+// PartitionOf returns which writer partition owns key.
+func (s *Store) PartitionOf(key uint64) int {
+	return Partition(key, s.buckets, s.writers)
+}
+
+// AcquirePartition records this client as partition p's writer (lease word).
+// Returns false if another live writer holds it; pass steal to take over a
+// dead writer's partition — the §6.4 metadata-only repartitioning.
+func (s *Store) AcquirePartition(p int, steal bool) bool {
+	if p < 0 || p >= s.writers {
+		return false
+	}
+	leaseIdx := s.buckets + 4 + p
+	cur := s.c.LoadWord(s.index, leaseIdx)
+	if cur != 0 && !steal {
+		return false
+	}
+	return s.c.CASWord(s.index, leaseIdx, cur, uint64(s.c.ID()))
+}
+
+// PartitionOwner reads partition p's lease word.
+func (s *Store) PartitionOwner(p int) int {
+	return int(s.c.LoadWord(s.index, s.buckets+4+p))
+}
+
+// checkOwner enforces the single-writer rule when leases are in use: if the
+// key's partition has a recorded writer and it is not this client, the
+// mutation is refused. Partitions with no lease (0) are unenforced — small
+// tests and single-writer tools need no lease ceremony.
+func (s *Store) checkOwner(key uint64) error {
+	owner := s.PartitionOwner(s.PartitionOf(key))
+	if owner != 0 && owner != s.c.ID() {
+		return ErrNotOwner
+	}
+	return nil
+}
+
+// Put inserts or updates key. Updates are in-place (one of the §6.4
+// enablers); inserts allocate a record and head-link it with one embedded
+// reference change. The caller must be the key's partition writer
+// (single-writer rule); when partition leases are acquired, this is
+// enforced.
+func (s *Store) Put(key uint64, val []byte) error {
+	if len(val) > s.valSize {
+		return ErrValueSize
+	}
+	if err := s.checkOwner(key); err != nil {
+		return err
+	}
+	b := s.bucketOf(key)
+	// Walk the chain for an existing record.
+	if rec := s.find(key, b); rec != 0 {
+		s.c.WriteData(rec, (recValueWord)*layout.WordBytes, val)
+		return nil
+	}
+	// Insert at head.
+	recBytes := (recValueWord)*layout.WordBytes + s.valSize
+	root, rec, err := s.c.Malloc(recBytes, 1)
+	if err != nil {
+		return err
+	}
+	s.c.StoreWord(rec, recKeyWord, key)
+	s.c.WriteData(rec, recValueWord*layout.WordBytes, val)
+	head, err := s.c.LoadEmbed(s.index, b)
+	if err != nil {
+		return err
+	}
+	if head != 0 {
+		if err := s.c.SetEmbed(rec, recNextIdx, head); err != nil {
+			return err
+		}
+	}
+	if err := s.c.ChangeEmbed(s.index, b, rec); err != nil {
+		return err
+	}
+	// The bucket now holds the counted reference; drop ours.
+	_, err = s.c.ReleaseRoot(root)
+	return err
+}
+
+// find walks bucket b for key, returning the record address or 0. Reads are
+// raw loads (no reference counting — §5.2's "further reading ... does not
+// need to modify the reference count").
+func (s *Store) find(key uint64, b int) layout.Addr {
+	rec, err := s.c.LoadEmbed(s.index, b)
+	if err != nil {
+		return 0
+	}
+	for hops := 0; rec != 0 && hops <= s.buckets+1024; hops++ {
+		if s.c.LoadWord(rec, recKeyWord) == key {
+			return rec
+		}
+		rec = s.c.LoadWord(rec, recNextIdx)
+	}
+	return 0
+}
+
+// Get copies key's value into buf (which must be at least ValueSize bytes)
+// and returns the number of bytes copied. Readers run from any client with
+// no locks; deleted records are protected by the store's single-writer rule
+// plus the era-based reclamation (a reader racing a delete re-validates the
+// key after the copy, the simplified stand-in for the paper's hazard-era
+// read protocol).
+func (s *Store) Get(key uint64, buf []byte) (int, error) {
+	b := s.bucketOf(key)
+	if s.hazard {
+		s.c.EnterRead()
+		defer s.c.ExitRead()
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		rec := s.find(key, b)
+		if rec == 0 {
+			return 0, ErrNotFound
+		}
+		n := s.valSize
+		if n > len(buf) {
+			n = len(buf)
+		}
+		s.c.ReadData(rec, recValueWord*layout.WordBytes, buf[:n])
+		// Validate: record still allocated and still ours.
+		if s.c.MetaOf(rec).Allocated() && s.c.LoadWord(rec, recKeyWord) == key {
+			return n, nil
+		}
+	}
+	return 0, ErrChainBroke
+}
+
+// Delete removes key. Unlinking is one embedded-reference change on the
+// predecessor (bucket head or previous record); the record's reference
+// count reaching zero reclaims it and the cascade rebalances the successor
+// count automatically.
+func (s *Store) Delete(key uint64) error {
+	if err := s.checkOwner(key); err != nil {
+		return err
+	}
+	b := s.bucketOf(key)
+	rec, err := s.c.LoadEmbed(s.index, b)
+	if err != nil {
+		return err
+	}
+	if rec == 0 {
+		return ErrNotFound
+	}
+	if s.c.LoadWord(rec, recKeyWord) == key {
+		return s.unlink(s.index, b, rec)
+	}
+	prev := rec
+	rec = s.c.LoadWord(rec, recNextIdx)
+	for hops := 0; rec != 0 && hops <= s.buckets+1024; hops++ {
+		if s.c.LoadWord(rec, recKeyWord) == key {
+			return s.unlink(prev, recNextIdx, rec)
+		}
+		prev = rec
+		rec = s.c.LoadWord(rec, recNextIdx)
+	}
+	return ErrNotFound
+}
+
+// unlink removes rec, whose predecessor's embedded reference idx points at
+// it. Hazard-protected stores retire the node (deferred reclamation, §5.4);
+// otherwise it is reclaimed immediately.
+func (s *Store) unlink(holder layout.Addr, idx int, rec layout.Addr) error {
+	next := s.c.LoadWord(rec, recNextIdx)
+	if s.hazard {
+		if next == 0 {
+			return s.c.RetireEmbed(holder, idx)
+		}
+		return s.c.ChangeEmbedRetire(holder, idx, next)
+	}
+	if next == 0 {
+		return s.c.ClearEmbed(holder, idx)
+	}
+	return s.c.ChangeEmbed(holder, idx, next)
+}
+
+// Range calls f for every record (order unspecified) until f returns
+// false. The value slice is reused between calls; copy it to keep it. Like
+// Get, the walk is lock-free; on hazard-protected stores it runs under a
+// published hazard era.
+func (s *Store) Range(f func(key uint64, val []byte) bool) {
+	if s.hazard {
+		s.c.EnterRead()
+		defer s.c.ExitRead()
+	}
+	buf := make([]byte, s.valSize)
+	for b := 0; b < s.buckets; b++ {
+		rec, _ := s.c.LoadEmbed(s.index, b)
+		for hops := 0; rec != 0 && hops <= s.buckets+1024; hops++ {
+			key := s.c.LoadWord(rec, recKeyWord)
+			s.c.ReadData(rec, recValueWord*layout.WordBytes, buf)
+			if s.c.MetaOf(rec).Allocated() { // validate before surfacing
+				if !f(key, buf) {
+					return
+				}
+			}
+			rec = s.c.LoadWord(rec, recNextIdx)
+		}
+	}
+}
+
+// Len counts records (diagnostic full walk).
+func (s *Store) Len() int {
+	n := 0
+	for b := 0; b < s.buckets; b++ {
+		rec, _ := s.c.LoadEmbed(s.index, b)
+		for rec != 0 {
+			n++
+			rec = s.c.LoadWord(rec, recNextIdx)
+		}
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package kv
+
+import "sync"
+
+// TBBKV is the single-process multi-thread baseline of Figure 10a: a
+// sharded concurrent hash map on native memory, standing in for the Intel
+// TBB concurrent_hash_map (documented substitution). It has no failure
+// domains, no sharing across processes, and no reference counting — the
+// volatile performance upper bound CXL-KV is measured against.
+type TBBKV struct {
+	shards []tbbShard
+	mask   uint64
+}
+
+type tbbShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+}
+
+// NewTBBKV creates a map with 2^n shards covering at least shards.
+func NewTBBKV(shards int) *TBBKV {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	t := &TBBKV{shards: make([]tbbShard, n), mask: uint64(n - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64][]byte)
+	}
+	return t
+}
+
+func (t *TBBKV) shard(key uint64) *tbbShard {
+	return &t.shards[hash64(key)&t.mask]
+}
+
+// Put stores a copy of val under key.
+func (t *TBBKV) Put(key uint64, val []byte) error {
+	s := t.shard(key)
+	s.mu.Lock()
+	old, ok := s.m[key]
+	if ok && len(old) >= len(val) {
+		copy(old[:len(val)], val)
+	} else {
+		s.m[key] = append([]byte(nil), val...)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Get copies key's value into buf, returning the byte count.
+func (t *TBBKV) Get(key uint64, buf []byte) (int, error) {
+	s := t.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, ErrNotFound
+	}
+	n := copy(buf, v)
+	s.mu.RUnlock()
+	return n, nil
+}
+
+// Delete removes key.
+func (t *TBBKV) Delete(key uint64) error {
+	s := t.shard(key)
+	s.mu.Lock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Len counts entries.
+func (t *TBBKV) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}

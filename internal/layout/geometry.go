@@ -1,0 +1,259 @@
+package layout
+
+import "fmt"
+
+// Geometry fixes the layout of the shared pool (paper Figure 3):
+//
+//	word 0                      magic
+//	word 1..                    geometry summary (for cross-checking)
+//	SegVecBase..                Global Segment Allocation Vec
+//	                            (2 words per segment: state, client_free)
+//	ClientVecBase..             Global Client Local Vec
+//	                            (ClientStateWords per client)
+//	QueueRegBase..              queue registry (1 word per slot)
+//	SegmentsBase..              NumSegments segments of SegmentWords each
+//
+// Each segment:
+//
+//	word 0                      next unclaimed page index (owner bump ptr)
+//	word 1                      reserved
+//	word 2..                    PageMetaWords per page
+//	(padded to SegHeaderWords)
+//	pages                       PagesPerSegment pages of PageWords each
+//
+// Each client's ClientLocalState:
+//
+//	word 0                      status (ClientSlotFree/Alive/Dead/Recovered)
+//	word 1                      heartbeat counter
+//	word 2                      machine/process identity tag
+//	word 3                      reserved
+//	word 4..4+RedoWords         redo log area (one era-transaction entry)
+//	word 12..12+MaxClients      era row: Era[cid][1..MaxClients]
+type Geometry struct {
+	MaxClients  int
+	NumSegments int
+	MaxQueues   int
+
+	SegmentWords    uint64
+	PageWords       uint64
+	PagesPerSegment int
+	SegHeaderWords  uint64
+
+	RedoWords        int
+	ClientStateWords uint64
+
+	SegVecBase    Addr
+	ClientVecBase Addr
+	QueueRegBase  Addr
+	RootDirBase   Addr
+	SegmentsBase  Addr
+	TotalWords    uint64
+
+	Classes []SizeClass
+}
+
+// MaxNamedRoots is the size of the named-root directory: well-known
+// reference slots that keep data alive across client lifetimes (the paper's
+// §6.4 "persistent root objects ... special API").
+const MaxNamedRoots = 32
+
+// Fixed per-client state offsets (within a ClientLocalState).
+const (
+	ClientOffStatus    = 0
+	ClientOffHeartbeat = 1
+	ClientOffIdentity  = 2
+	ClientOffReserved  = 3
+	ClientOffRedo      = 4
+	clientFixedWords   = 12 // status..reserved + redo area (RedoWords=8)
+)
+
+// DefaultRedoWords is the size of the per-client redo log area. One era
+// transaction needs at most 8 words (see internal/shm's redo layout).
+const DefaultRedoWords = 8
+
+// PoolMagic identifies an initialized CXL-SHM pool.
+const PoolMagic = 0xC1525348 // "CXL-SHM" truncated tag
+
+// GeometryConfig selects pool dimensions. Zero fields take defaults sized
+// for tests and laptop-scale benchmarks (the paper's 64 MB segments scale
+// down linearly).
+type GeometryConfig struct {
+	MaxClients   int    // default 32
+	NumSegments  int    // default 64
+	SegmentWords uint64 // default 1<<16 words (512 KiB)
+	PageWords    uint64 // default 1<<12 words (32 KiB)
+	MaxQueues    int    // default 128
+}
+
+// NewGeometry validates cfg and computes the derived layout.
+func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
+	if cfg.MaxClients == 0 {
+		cfg.MaxClients = 32
+	}
+	if cfg.NumSegments == 0 {
+		cfg.NumSegments = 64
+	}
+	if cfg.SegmentWords == 0 {
+		cfg.SegmentWords = 1 << 16
+	}
+	if cfg.PageWords == 0 {
+		cfg.PageWords = 1 << 12
+	}
+	if cfg.MaxQueues == 0 {
+		cfg.MaxQueues = 128
+	}
+	if cfg.MaxClients < 1 || cfg.MaxClients > MaxLCID {
+		return nil, fmt.Errorf("layout: MaxClients %d out of range [1,%d]", cfg.MaxClients, MaxLCID)
+	}
+	if cfg.PageWords < 64 {
+		return nil, fmt.Errorf("layout: PageWords %d too small (min 64)", cfg.PageWords)
+	}
+	if cfg.SegmentWords < cfg.PageWords*2 {
+		return nil, fmt.Errorf("layout: SegmentWords %d must hold at least two pages of %d words",
+			cfg.SegmentWords, cfg.PageWords)
+	}
+
+	g := &Geometry{
+		MaxClients:   cfg.MaxClients,
+		NumSegments:  cfg.NumSegments,
+		MaxQueues:    cfg.MaxQueues,
+		SegmentWords: cfg.SegmentWords,
+		PageWords:    cfg.PageWords,
+		RedoWords:    DefaultRedoWords,
+	}
+	g.ClientStateWords = clientFixedWords + uint64(g.MaxClients) + 1
+
+	// Pages per segment: solve fixed(2) + PageMetaWords*p + pad <= seg - p*page.
+	p := int((g.SegmentWords - 2) / (g.PageWords + PageMetaWords))
+	for p > 0 {
+		hdr := uint64(2 + PageMetaWords*p)
+		hdr = (hdr + 7) &^ 7 // align to cache line
+		if hdr+uint64(p)*g.PageWords <= g.SegmentWords {
+			g.PagesPerSegment = p
+			g.SegHeaderWords = hdr
+			break
+		}
+		p--
+	}
+	if g.PagesPerSegment < 1 {
+		return nil, fmt.Errorf("layout: segment of %d words cannot hold a page of %d words",
+			g.SegmentWords, g.PageWords)
+	}
+
+	base := Addr(8) // word 0 magic, 1..7 geometry summary/reserved
+	g.SegVecBase = base
+	base += Addr(2 * g.NumSegments)
+	g.ClientVecBase = base
+	base += Addr(uint64(g.MaxClients) * g.ClientStateWords)
+	g.QueueRegBase = base
+	base += Addr(g.MaxQueues)
+	g.RootDirBase = base
+	base += MaxNamedRoots
+	base = (base + 7) &^ 7
+	g.SegmentsBase = base
+	g.TotalWords = uint64(base) + uint64(g.NumSegments)*g.SegmentWords
+
+	g.Classes = BuildSizeClasses(g.PageWords)
+	return g, nil
+}
+
+// --- Global Segment Allocation Vec ---
+
+// SegStateAddr returns the address of segment i's state word.
+func (g *Geometry) SegStateAddr(i int) Addr { return g.SegVecBase + Addr(2*i) }
+
+// SegClientFreeAddr returns the address of segment i's client_free list head
+// (cross-client deferred frees, paper Figure 3).
+func (g *Geometry) SegClientFreeAddr(i int) Addr { return g.SegVecBase + Addr(2*i) + 1 }
+
+// --- Client Local Vec ---
+
+// ClientStateBase returns the base of client cid's ClientLocalState.
+// cid is 1-based.
+func (g *Geometry) ClientStateBase(cid int) Addr {
+	return g.ClientVecBase + Addr(uint64(cid-1)*g.ClientStateWords)
+}
+
+// ClientStatusAddr returns the address of cid's status word.
+func (g *Geometry) ClientStatusAddr(cid int) Addr {
+	return g.ClientStateBase(cid) + ClientOffStatus
+}
+
+// ClientHeartbeatAddr returns the address of cid's heartbeat counter.
+func (g *Geometry) ClientHeartbeatAddr(cid int) Addr {
+	return g.ClientStateBase(cid) + ClientOffHeartbeat
+}
+
+// ClientRedoBase returns the base of cid's redo log area.
+func (g *Geometry) ClientRedoBase(cid int) Addr {
+	return g.ClientStateBase(cid) + ClientOffRedo
+}
+
+// EraAddr returns the address of Era[i][j]: the largest era of client j seen
+// by client i (Era[i][i] is i's own current era). Row i lives in client i's
+// ClientLocalState and is written only by client i (paper Figure 4(a)).
+func (g *Geometry) EraAddr(i, j int) Addr {
+	return g.ClientStateBase(i) + clientFixedWords + Addr(j)
+}
+
+// --- Queue registry ---
+
+// QueueRegAddr returns the address of registry slot i (holds the block
+// address of a live transfer queue, or 0).
+func (g *Geometry) QueueRegAddr(i int) Addr { return g.QueueRegBase + Addr(i) }
+
+// RootDirAddr returns the address of named-root slot i. Each slot is a
+// counted reference word (single-writer: whoever publishes/unpublishes).
+func (g *Geometry) RootDirAddr(i int) Addr { return g.RootDirBase + Addr(i) }
+
+// --- Segments, pages, blocks ---
+
+// SegmentBase returns the base address of segment i.
+func (g *Geometry) SegmentBase(i int) Addr {
+	return g.SegmentsBase + Addr(uint64(i)*g.SegmentWords)
+}
+
+// SegmentIndexOf maps an address inside the segments area to its segment
+// index, or -1 for addresses outside it.
+func (g *Geometry) SegmentIndexOf(a Addr) int {
+	if a < g.SegmentsBase || a >= Addr(g.TotalWords) {
+		return -1
+	}
+	return int((a - g.SegmentsBase) / Addr(g.SegmentWords))
+}
+
+// SegNextPageAddr returns the address of segment i's next-unclaimed-page
+// counter (owner-only).
+func (g *Geometry) SegNextPageAddr(i int) Addr { return g.SegmentBase(i) }
+
+// PageMetaAddr returns the address of page p's meta area in segment s.
+func (g *Geometry) PageMetaAddr(s, p int) Addr {
+	return g.SegmentBase(s) + 2 + Addr(PageMetaWords*p)
+}
+
+// PageBase returns the base address of page p in segment s.
+func (g *Geometry) PageBase(s, p int) Addr {
+	return g.SegmentBase(s) + Addr(g.SegHeaderWords) + Addr(uint64(p)*g.PageWords)
+}
+
+// PageIndexOf maps an address inside segment s to a page index, or -1 if it
+// falls in the segment header.
+func (g *Geometry) PageIndexOf(s int, a Addr) int {
+	off := a - g.SegmentBase(s)
+	if off < Addr(g.SegHeaderWords) {
+		return -1
+	}
+	p := int((off - Addr(g.SegHeaderWords)) / Addr(g.PageWords))
+	if p >= g.PagesPerSegment {
+		return -1
+	}
+	return p
+}
+
+// BlocksPerPage returns how many blocks of class c fit in one page.
+func (g *Geometry) BlocksPerPage(c SizeClass) int {
+	return int(g.PageWords / c.BlockWords)
+}
+
+// RootRefsPerPage returns how many RootRef slots fit in one RootRef page.
+func (g *Geometry) RootRefsPerPage() int { return int(g.PageWords / RootRefWords) }

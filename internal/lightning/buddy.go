@@ -1,0 +1,142 @@
+// Package lightning reimplements the architecture of Lightning (VLDB'22) as
+// the paper's lock-based baseline: a shared-memory multi-process object
+// store whose memory management is a simple lock-based buddy system and
+// whose crash recovery is blocking — when one client dies, every client
+// waits for the recovery to finish (paper §4.2 and §6.4 both call this out
+// as the contrast with CXL-SHM's non-blocking era-based algorithm).
+package lightning
+
+import (
+	"fmt"
+	"sync"
+)
+
+// buddy is a classic binary-buddy allocator over a byte arena, protected by
+// one global mutex — Lightning's "simple lock-based buddy system" whose
+// serialization is a major source of its Figure 10a throughput gap.
+type buddy struct {
+	mu       sync.Mutex
+	arena    []byte
+	minOrder int // smallest block = 1<<minOrder bytes
+	maxOrder int // whole arena = 1<<maxOrder bytes
+	free     [][]uint32
+	// orderOf tracks the order of each allocated block (indexed by
+	// offset >> minOrder).
+	orderOf []int8
+}
+
+func newBuddy(bytes, minBlock int) (*buddy, error) {
+	maxOrder := 0
+	for 1<<maxOrder < bytes {
+		maxOrder++
+	}
+	if 1<<maxOrder != bytes {
+		return nil, fmt.Errorf("lightning: arena size %d not a power of two", bytes)
+	}
+	minOrder := 0
+	for 1<<minOrder < minBlock {
+		minOrder++
+	}
+	if minOrder > maxOrder {
+		return nil, fmt.Errorf("lightning: min block larger than arena")
+	}
+	b := &buddy{
+		arena:    make([]byte, bytes),
+		minOrder: minOrder,
+		maxOrder: maxOrder,
+		free:     make([][]uint32, maxOrder+1),
+		orderOf:  make([]int8, (bytes>>minOrder)+1),
+	}
+	for i := range b.orderOf {
+		b.orderOf[i] = -1
+	}
+	b.free[maxOrder] = append(b.free[maxOrder], 0)
+	return b, nil
+}
+
+func (b *buddy) orderFor(size int) int {
+	o := b.minOrder
+	for 1<<o < size {
+		o++
+	}
+	return o
+}
+
+// alloc returns the byte offset of a block holding size bytes.
+func (b *buddy) alloc(size int) (uint32, error) {
+	if size <= 0 {
+		size = 1
+	}
+	want := b.orderFor(size)
+	if want > b.maxOrder {
+		return 0, fmt.Errorf("lightning: allocation of %d bytes exceeds arena", size)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Find the smallest order with a free block, splitting down.
+	o := want
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, fmt.Errorf("lightning: arena exhausted")
+	}
+	off := b.free[o][len(b.free[o])-1]
+	b.free[o] = b.free[o][:len(b.free[o])-1]
+	for o > want {
+		o--
+		b.free[o] = append(b.free[o], off+uint32(1<<o)) // right half back
+	}
+	b.orderOf[off>>b.minOrder] = int8(want)
+	return off, nil
+}
+
+// freeBlock returns a block; buddies are coalesced.
+func (b *buddy) freeBlock(off uint32) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := off >> b.minOrder
+	o := int(b.orderOf[idx])
+	if o < 0 {
+		return fmt.Errorf("lightning: double free at %#x", off)
+	}
+	b.orderOf[idx] = -1
+	for o < b.maxOrder {
+		buddyOff := off ^ uint32(1<<o)
+		// Is the buddy free at the same order?
+		found := -1
+		for i, f := range b.free[o] {
+			if f == buddyOff {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		b.free[o][found] = b.free[o][len(b.free[o])-1]
+		b.free[o] = b.free[o][:len(b.free[o])-1]
+		if buddyOff < off {
+			off = buddyOff
+		}
+		o++
+	}
+	b.free[o] = append(b.free[o], off)
+	return nil
+}
+
+// data returns the block's bytes (size bytes from offset).
+func (b *buddy) data(off uint32, size int) []byte {
+	return b.arena[off : int(off)+size]
+}
+
+// freeBytes reports total free space (diagnostics).
+func (b *buddy) freeBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for o, list := range b.free {
+		total += len(list) * (1 << o)
+	}
+	return total
+}

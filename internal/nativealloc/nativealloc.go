@@ -1,0 +1,126 @@
+// Package nativealloc provides the volatile-allocator baselines for the
+// Figure 6 comparison. The paper compares against mimalloc and jemalloc;
+// neither is linkable from pure Go, so two tunings of the Go runtime
+// allocator stand in (documented substitution, DESIGN.md §2): both represent
+// "a state-of-the-art volatile allocator with no sharing and no failure
+// resilience", which is the role the paper's baselines play — roughly an
+// order of magnitude faster than a failure-resilient shared-pool allocator.
+package nativealloc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+)
+
+// Plain is the jemalloc stand-in: straight Go heap allocations.
+type Plain struct{}
+
+// Name implements alloc.Allocator.
+func (Plain) Name() string { return "jemalloc*" }
+
+// NewThread implements alloc.Allocator.
+func (Plain) NewThread() (alloc.ThreadAllocator, error) { return &plainThread{}, nil }
+
+type plainThread struct{}
+
+func (t *plainThread) Alloc(size int) (alloc.Obj, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nativealloc: bad size %d", size)
+	}
+	b := make([]byte, size)
+	return &b, nil
+}
+
+func (t *plainThread) Free(o alloc.Obj) error {
+	if o == nil {
+		return fmt.Errorf("nativealloc: free of nil object")
+	}
+	return nil // the Go GC reclaims it
+}
+
+// Pooled is the mimalloc stand-in: thread-local size-class caches backed by
+// shared pools, mirroring mimalloc's local free lists with a shared slow
+// path.
+type Pooled struct {
+	pools [numClasses]sync.Pool
+	once  sync.Once
+}
+
+const (
+	classGrain = 64
+	numClasses = 8 // 64..512 bytes, covering both workloads
+)
+
+func classFor(size int) int {
+	c := (size + classGrain - 1) / classGrain
+	if c < 1 {
+		c = 1
+	}
+	if c > numClasses {
+		return -1
+	}
+	return c - 1
+}
+
+// Name implements alloc.Allocator.
+func (p *Pooled) Name() string { return "mimalloc*" }
+
+// NewThread implements alloc.Allocator.
+func (p *Pooled) NewThread() (alloc.ThreadAllocator, error) {
+	p.once.Do(func() {
+		for c := 0; c < numClasses; c++ {
+			size := (c + 1) * classGrain
+			p.pools[c].New = func() interface{} {
+				b := make([]byte, size)
+				return &b
+			}
+		}
+	})
+	return &pooledThread{p: p}, nil
+}
+
+type pooledThread struct {
+	p *Pooled
+	// local is the thread-exclusive fast path cache (no synchronization),
+	// like mimalloc's page-local free lists.
+	local [numClasses][]*[]byte
+}
+
+const localCap = 32
+
+type pooledObj struct {
+	buf   *[]byte
+	class int
+}
+
+func (t *pooledThread) Alloc(size int) (alloc.Obj, error) {
+	c := classFor(size)
+	if c < 0 {
+		b := make([]byte, size)
+		return pooledObj{buf: &b, class: -1}, nil
+	}
+	if n := len(t.local[c]); n > 0 {
+		b := t.local[c][n-1]
+		t.local[c] = t.local[c][:n-1]
+		return pooledObj{buf: b, class: c}, nil
+	}
+	return pooledObj{buf: t.p.pools[c].Get().(*[]byte), class: c}, nil
+}
+
+func (t *pooledThread) Free(o alloc.Obj) error {
+	po, ok := o.(pooledObj)
+	if !ok {
+		return fmt.Errorf("nativealloc: foreign object %T", o)
+	}
+	if po.class < 0 {
+		return nil
+	}
+	if len(t.local[po.class]) < localCap {
+		t.local[po.class] = append(t.local[po.class], po.buf)
+		return nil
+	}
+	t.p.pools[po.class].Put(po.buf)
+	return nil
+}

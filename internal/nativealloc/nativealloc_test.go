@@ -1,0 +1,90 @@
+package nativealloc
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+func TestPlainAllocFree(t *testing.T) {
+	var p Plain
+	ta, err := p.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ta.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := o.(*[]byte)
+	if len(*b) != 64 {
+		t.Fatalf("got %d bytes", len(*b))
+	}
+	if err := ta.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Free(nil); err == nil {
+		t.Fatal("free(nil) accepted")
+	}
+	if _, err := ta.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc accepted")
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestPooledReusesBuffers(t *testing.T) {
+	var p Pooled
+	ta, err := p.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := ta.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf1 := o1.(pooledObj).buf
+	if err := ta.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := ta.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.(pooledObj).buf != buf1 {
+		t.Fatal("thread-local cache did not reuse the buffer")
+	}
+	// Oversize allocations bypass the classes but still work.
+	big, err := ta.Alloc(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.(pooledObj).class != -1 {
+		t.Fatal("oversize allocation got a class")
+	}
+	if err := ta.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign objects are rejected.
+	if err := ta.Free("not-an-object"); err == nil {
+		t.Fatal("foreign free accepted")
+	}
+}
+
+func TestPooledClassBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		size, class int
+	}{
+		{1, 0}, {64, 0}, {65, 1}, {128, 1}, {512, 7}, {513, -1},
+	} {
+		if got := classFor(tc.size); got != tc.class {
+			t.Fatalf("classFor(%d) = %d, want %d", tc.size, got, tc.class)
+		}
+	}
+}
+
+func TestAllocatorsSatisfyInterface(t *testing.T) {
+	var _ alloc.Allocator = Plain{}
+	var _ alloc.Allocator = &Pooled{}
+}

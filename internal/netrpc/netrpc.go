@@ -1,0 +1,177 @@
+// Package netrpc is the pass-by-value RPC baseline of Figure 8: a
+// length-prefixed binary protocol over loopback TCP, standing in for the
+// paper's RDMA-based RPC (Herd-style over ConnectX-5). What matters for the
+// comparison is the cost structure, which loopback TCP shares with any
+// pass-by-value transport: the payload is serialized, copied through the
+// kernel I/O stack, and deserialized — exactly the costs CXL-RPC's
+// zero-copy reference exchange avoids.
+//
+// Wire format, both directions:
+//
+//	[8B function id][4B payload length][payload bytes]
+package netrpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler executes one function over the request payload, returning the
+// response payload.
+type Handler func(fn uint64, payload []byte) ([]byte, error)
+
+// Server serves pass-by-value calls on a loopback listener.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// NewServer starts a server on an ephemeral loopback port.
+func NewServer(handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's dial address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		fn := binary.LittleEndian.Uint64(hdr[0:8])
+		n := binary.LittleEndian.Uint32(hdr[8:12])
+		payload := make([]byte, n) // the pass-by-value copy-in
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		resp, err := s.handler(fn, payload)
+		if err != nil {
+			return
+		}
+		binary.LittleEndian.PutUint64(hdr[0:8], fn)
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(resp)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return
+		}
+		if _, err := w.Write(resp); err != nil { // the copy-out
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client issues pass-by-value calls over one connection.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Call sends fn with payload and returns the response payload. Each call
+// serializes, copies through the kernel, and deserializes — the baseline
+// cost structure.
+func (c *Client) Call(fn uint64, payload []byte) ([]byte, error) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], fn)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("netrpc: absurd response length %d", n)
+	}
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(c.r, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

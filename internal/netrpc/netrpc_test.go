@@ -1,0 +1,91 @@
+package netrpc
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func echo(fn uint64, payload []byte) ([]byte, error) {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s, err := NewServer(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, size := range []int{0, 1, 64, 4096, 1 << 16} {
+		payload := bytes.Repeat([]byte{0xAB}, size)
+		resp, err := c.Call(7, payload)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(resp, payload) {
+			t.Fatalf("size %d: echo mismatch", size)
+		}
+	}
+}
+
+func TestManyClientsConcurrently(t *testing.T) {
+	s, err := NewServer(func(fn uint64, p []byte) ([]byte, error) {
+		out := make([]byte, 8)
+		out[0] = byte(fn)
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				resp, err := c.Call(uint64(g), []byte("ping"))
+				if err != nil || resp[0] != byte(g) {
+					t.Errorf("call: %v %v", resp, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s, err := NewServer(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(1, []byte("x")); err == nil {
+		t.Fatal("call against closed server succeeded")
+	}
+	c.Close()
+	// Double close is fine.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package pmem
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+)
+
+// Bench adapts a Heap to the alloc.Allocator benchmark interface.
+type Bench struct{ H *Heap }
+
+// Name implements alloc.Allocator.
+func (b Bench) Name() string { return b.H.Name() }
+
+// NewThread implements alloc.Allocator.
+func (b Bench) NewThread() (alloc.ThreadAllocator, error) {
+	ctx, err := b.H.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	return benchCtx{ctx}, nil
+}
+
+type benchCtx struct{ c *Ctx }
+
+func (t benchCtx) Alloc(size int) (alloc.Obj, error) { return t.c.Alloc(size) }
+
+func (t benchCtx) Free(o alloc.Obj) error {
+	a, ok := o.(Addr)
+	if !ok {
+		return fmt.Errorf("pmem: foreign object %T", o)
+	}
+	return t.c.Free(a)
+}

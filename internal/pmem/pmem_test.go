@@ -1,0 +1,163 @@
+package pmem
+
+import (
+	"testing"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	h, err := NewHeap(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	h := newHeap(t)
+	c, _ := h.NewThread()
+	a1, err := c.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatalf("freed block not reused: %#x then %#x", a1, a2)
+	}
+	if err := c.Free(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(a2); err == nil {
+		t.Fatal("double free undetected")
+	}
+}
+
+func TestDataIsolation(t *testing.T) {
+	h := newHeap(t)
+	c, _ := h.NewThread()
+	a, _ := c.Alloc(64)
+	b, _ := c.Alloc(64)
+	da, db := h.Data(a), h.Data(b)
+	for i := range da {
+		da[i] = 0xAAAA
+	}
+	for i := range db {
+		db[i] = 0xBBBB
+	}
+	for i := range da {
+		if da[i] != 0xAAAA {
+			t.Fatal("neighbour write leaked")
+		}
+	}
+}
+
+func TestRecoverReclaimsUnreachable(t *testing.T) {
+	h := newHeap(t)
+	c, _ := h.NewThread()
+
+	// A reachable chain: root -> n1 -> n2.
+	root, _ := c.Alloc(16)
+	n1, _ := c.Alloc(16)
+	n2, _ := c.Alloc(16)
+	h.Data(root)[0] = n1
+	h.Data(n1)[0] = n2
+	if err := h.SetRoot(0, root); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage: allocated, never rooted.
+	var garbage []Addr
+	for i := 0; i < 100; i++ {
+		g, err := c.Alloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		garbage = append(garbage, g)
+	}
+
+	// Crash: all volatile state gone.
+	st := h.Recover()
+	if st.BlocksLive != 3 {
+		t.Fatalf("live = %d, want 3", st.BlocksLive)
+	}
+	if st.BlocksSwept != len(garbage) {
+		t.Fatalf("swept = %d, want %d", st.BlocksSwept, len(garbage))
+	}
+	// The chain survives.
+	if h.Data(root)[0] != n1 || h.Data(n1)[0] != n2 {
+		t.Fatal("reachable chain corrupted by recovery")
+	}
+	// Swept space is allocatable again.
+	c2, _ := h.NewThread()
+	for i := 0; i < 100; i++ {
+		if _, err := c2.Alloc(32); err != nil {
+			t.Fatalf("alloc after recovery: %v", err)
+		}
+	}
+}
+
+func TestRecoverCostScalesWithHeap(t *testing.T) {
+	// The defining §6.2.1 property: GC recovery walks everything, so words
+	// scanned grows with live data.
+	scan := func(n int) int {
+		h, _ := NewHeap(8 << 20)
+		c, _ := h.NewThread()
+		prev := Addr(0)
+		for i := 0; i < n; i++ {
+			a, err := c.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Data(a)[0] = prev
+			prev = a
+		}
+		h.SetRoot(0, prev)
+		return h.Recover().WordsScanned
+	}
+	small, large := scan(100), scan(5000)
+	if large < small*20 {
+		t.Fatalf("recovery scan did not scale with heap: %d vs %d words", small, large)
+	}
+}
+
+func TestRootTableBounds(t *testing.T) {
+	h := newHeap(t)
+	if err := h.SetRoot(-1, 5); err == nil {
+		t.Fatal("negative root index accepted")
+	}
+	if err := h.SetRoot(MaxRoots, 5); err == nil {
+		t.Fatal("out-of-range root index accepted")
+	}
+	if err := h.SetRoot(3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if h.Root(3) != 42 {
+		t.Fatal("root round trip failed")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h, err := NewHeap(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.NewThread()
+	n := 0
+	for {
+		if _, err := c.Alloc(120); err != nil {
+			break
+		}
+		n++
+		if n > 1<<20 {
+			t.Fatal("heap never exhausts")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no allocation succeeded")
+	}
+}

@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/layout"
+)
+
+// Monitor is the standalone failure detector (paper §3.2): it watches every
+// client's heartbeat counter and, when one stalls, fences the client and
+// runs recovery asynchronously — other clients never block on this. It also
+// periodically rescans abandoned and POTENTIAL_LEAKING segments and sweeps
+// the queue registry.
+//
+// The monitor and the recovery service share one goroutine, which is what
+// keeps scans of dead-owner segments race-free (see internal/shm/scan.go's
+// concurrency contract).
+type Monitor struct {
+	svc      *Service
+	interval time.Duration
+	// missed heartbeats (in intervals) before a client is declared dead.
+	threshold int
+
+	mu       sync.Mutex
+	lastBeat map[int]uint64
+	misses   map[int]int
+	reports  []Report
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// MonitorConfig tunes the monitor.
+type MonitorConfig struct {
+	// Interval between heartbeat checks (default 10ms).
+	Interval time.Duration
+	// Threshold is how many consecutive unchanged heartbeats declare a
+	// client dead (default 3).
+	Threshold int
+}
+
+// NewMonitor creates a monitor driving the given recovery service.
+func NewMonitor(svc *Service, cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	return &Monitor{
+		svc:       svc,
+		interval:  cfg.Interval,
+		threshold: cfg.Threshold,
+		lastBeat:  make(map[int]uint64),
+		misses:    make(map[int]int),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the monitor goroutine.
+func (m *Monitor) Start() {
+	go m.run()
+}
+
+// Stop terminates the monitor and waits for it to finish.
+func (m *Monitor) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// Reports returns the recoveries performed so far.
+func (m *Monitor) Reports() []Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Report, len(m.reports))
+	copy(out, m.reports)
+	return out
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Tick()
+		}
+	}
+}
+
+// Tick performs one round of failure detection and background maintenance.
+// Exported so tests and benchmarks can drive the monitor deterministically.
+func (m *Monitor) Tick() {
+	p := m.svc.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	self := m.svc.exec.ID()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	for cid := 1; cid <= geo.MaxClients; cid++ {
+		if cid == self {
+			continue
+		}
+		status := p.ClientStatus(cid)
+		switch status {
+		case layout.ClientAlive:
+			beat := dev.Load(geo.ClientHeartbeatAddr(cid))
+			if beat == m.lastBeat[cid] {
+				m.misses[cid]++
+				if m.misses[cid] >= m.threshold {
+					if err := p.MarkClientDead(cid); err == nil {
+						m.recoverLocked(cid)
+					}
+				}
+			} else {
+				m.lastBeat[cid] = beat
+				m.misses[cid] = 0
+			}
+		case layout.ClientDead:
+			m.recoverLocked(cid)
+		}
+	}
+
+	// Background maintenance: abandoned / flagged segments, dead huge
+	// objects, stale queue registrations.
+	for seg := 0; seg < geo.NumSegments; seg++ {
+		st := p.SegState(seg)
+		switch st.State {
+		case layout.SegAbandoned:
+			m.svc.exec.ScanSegment(seg, true)
+		case layout.SegHugeHead:
+			if p.ClientDeadOrRecovered(int(st.CID)) {
+				m.svc.exec.ScanSegment(seg, true)
+			}
+		}
+	}
+	p.SweepQueueRegistry()
+	m.svc.exec.Heartbeat()
+}
+
+func (m *Monitor) recoverLocked(cid int) {
+	if r, err := m.svc.RecoverClient(cid); err == nil {
+		m.reports = append(m.reports, r)
+	}
+	delete(m.lastBeat, cid)
+	delete(m.misses, cid)
+}

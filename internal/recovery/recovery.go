@@ -1,0 +1,362 @@
+// Package recovery implements CXL-SHM's asynchronous, stateless, fail-safe
+// recovery service and the failure-detecting monitor (paper §3.2, §4.3,
+// §5.3).
+//
+// Recovery of a failed client never blocks other clients: it consists of
+// ordinary era transactions plus idempotent replays, executed by a recovery
+// client that is itself just another client of the pool — if the recovery
+// service dies, a new one can be started anywhere and simply runs again.
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// Service executes recoveries on behalf of a pool. It owns a client
+// identity for the era transactions recovery must run (releasing the
+// references a dead client possessed). A Service is single-goroutine.
+type Service struct {
+	pool *shm.Pool
+	exec *shm.Client
+}
+
+// NewService connects a recovery client to the pool.
+func NewService(pool *shm.Pool) (*Service, error) {
+	exec, err := pool.Connect()
+	if err != nil {
+		return nil, fmt.Errorf("recovery: cannot connect executor: %w", err)
+	}
+	return &Service{pool: pool, exec: exec}, nil
+}
+
+// Executor exposes the service's client (tests, stats).
+func (s *Service) Executor() *shm.Client { return s.exec }
+
+// Report summarizes one client recovery.
+type Report struct {
+	Client     int
+	RedoNeeded bool // the redo entry's ModifyRef was replayed
+	SweptRoots int  // RootRef references released
+	SegsFreed  int  // segments returned to the free pool
+	SegsOrphan int  // segments left ABANDONED (still referenced by others)
+	HugeFreed  int  // huge objects reclaimed
+	Reclaimed  int  // leaked blocks reclaimed by the post-sweep scan
+}
+
+// RecoverClient recovers failed client cid:
+//
+//  1. fence the client (RAS) and publish its death,
+//  2. decide and replay the interrupted transaction's ModifyRef using the
+//     era matrix (Conditions 1 and 2),
+//  3. sweep the dead client's RootRef pages — the content in and only in
+//     those pages identifies every reference it possessed (§5.1),
+//  4. scan and either free or abandon its segments,
+//  5. mark the slot recovered.
+//
+// Everything here is idempotent or guarded, so a recovery that itself
+// crashes can simply be re-run.
+func (s *Service) RecoverClient(cid int) (Report, error) {
+	r := Report{Client: cid}
+	p := s.pool
+	geo := p.Geometry()
+	if cid < 1 || cid > geo.MaxClients {
+		return r, fmt.Errorf("recovery: client id %d out of range", cid)
+	}
+	if status := p.ClientStatus(cid); status == layout.ClientAlive {
+		if err := p.MarkClientDead(cid); err != nil {
+			return r, err
+		}
+	} else if status != layout.ClientDead {
+		return r, fmt.Errorf("recovery: client %d not dead (status %d)", cid, status)
+	}
+	p.Device().FenceClient(cid)
+
+	// Step 2: redo decision and replay.
+	r.RedoNeeded = s.replayRedo(cid)
+
+	// Step 3+4: walk the Global Segment Allocation Vec for segments owned by
+	// the dead client. RootRef pages are swept first (across all owned
+	// segments) so that segment scans see the final reference counts.
+	owned := s.ownedSegments(cid)
+	for _, seg := range owned {
+		st := p.SegState(seg)
+		if st.State != layout.SegActive {
+			continue
+		}
+		r.SweptRoots += s.sweepRootRefPages(seg)
+	}
+
+	// Huge objects: free heads whose count is zero (interrupted allocation
+	// or interrupted free); keep live ones (others still reference them).
+	freedHuge := s.sweepHugeOwned(cid, owned)
+	r.HugeFreed += freedHuge
+
+	// Normal segments: one scan; quiet ones are freed, the rest abandoned.
+	for _, seg := range owned {
+		st := p.SegState(seg)
+		switch st.State {
+		case layout.SegActive:
+			rep := s.exec.ScanSegment(seg, true)
+			r.Reclaimed += rep.Reclaimed
+			r.SweptRoots += rep.SweptRoots
+			if rep.Freed {
+				r.SegsFreed++
+			} else {
+				s.abandonSegment(seg)
+				r.SegsOrphan++
+			}
+		case layout.SegHugeBody:
+			// Orphan body whose head was never written or already freed
+			// (mid-claim crash): sweepHugeOwned left it untouched only if no
+			// matching live head covers it.
+			if !s.coveredByLiveHead(cid, seg) {
+				s.freeSegment(seg)
+				r.SegsFreed++
+			}
+		}
+	}
+
+	// Step 5: publish completion.
+	dev := p.Device()
+	dev.Store(geo.ClientStatusAddr(cid), layout.ClientRecovered)
+	p.ClearRedo(cid)
+	return r, nil
+}
+
+// replayRedo implements the §4.3 recovery decision. Returns whether a
+// ModifyRef replay (or change-completion) was needed.
+func (s *Service) replayRedo(cid int) bool {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	entry, ok := p.ReadRedo(cid)
+	if !ok {
+		return false
+	}
+	eraII := uint32(dev.Load(geo.EraAddr(cid, cid)))
+
+	switch entry.Op {
+	case shm.OpAttach:
+		if s.committed(entry.Refed, cid, entry.Era, eraII) {
+			dev.Store(entry.Ref, entry.Refed) // replay ModifyRef (idempotent)
+			return true
+		}
+	case shm.OpRelease:
+		// A release that hit zero may have been cut short anywhere in its
+		// inline reclaim; flag the segment unconditionally (sticky, checked
+		// by the scan) — never redo the non-idempotent free (§5.3).
+		if entry.SavedCnt == 1 {
+			if seg := geo.SegmentIndexOf(entry.Refed); seg >= 0 {
+				p.FlagSegmentLeaking(seg)
+			}
+		}
+		if s.committed(entry.Refed, cid, entry.Era, eraII) {
+			dev.Store(entry.Ref, 0) // replay ModifyRef (idempotent)
+			return true
+		}
+	case shm.OpChange:
+		return s.replayChange(cid, entry, eraII)
+	}
+	return false
+}
+
+// replayChange completes an interrupted two-phase change (§5.4): the era was
+// bumped after each of the two CASes, so eraII tells which phase crashed.
+func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	// Phase 1's decrement may have dropped A to zero in any phase.
+	if e.SavedCnt == 1 {
+		if seg := geo.SegmentIndexOf(e.Refed); seg >= 0 {
+			p.FlagSegmentLeaking(seg)
+		}
+	}
+	switch eraII {
+	case e.Era:
+		// Crashed in phase 1. If the decrement of A committed, the client
+		// was headed for "ref points at B": complete with a fresh attach
+		// transaction (B was certainly not incremented yet — that CAS only
+		// runs after the first era bump).
+		if s.committed(e.Refed, cid, e.Era, eraII) {
+			if err := s.exec.AttachReference(e.Ref, e.Refed2); err == nil {
+				return true
+			}
+		}
+		// Decrement never committed: the change never happened; ref still
+		// points at A. Nothing to do.
+	case e.Era + 1:
+		// Crashed in phase 2: A's decrement definitely committed. If B's
+		// increment committed too, only the ModifyRef needs replaying;
+		// otherwise run the attach for the client.
+		if s.committed(e.Refed2, cid, e.Era+1, eraII) {
+			dev.Store(e.Ref, e.Refed2)
+		} else if err := s.exec.AttachReference(e.Ref, e.Refed2); err != nil {
+			return false
+		}
+		return true
+	default:
+		// Both bumps done: the change completed; only the A-reclaim flag
+		// (set above) could still matter.
+	}
+	return false
+}
+
+// committed decides whether the dead client's CAS at era txnEra on object lo
+// took effect: Condition 1 (the header still carries it) checked strictly
+// before Condition 2 (some other client has seen that era). Published
+// (cid, era) pairs are unique to one commit, so there are no false
+// positives; the paper proves the two conditions sufficient.
+func (s *Service) committed(lo layout.Addr, cid int, txnEra, eraII uint32) bool {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	hdr := layout.UnpackHeader(dev.Load(lo + layout.HeaderOff))
+	if int(hdr.LCID) == cid && hdr.LEra == txnEra {
+		return true // Condition 1
+	}
+	// The device is sequentially consistent, which subsumes the memory
+	// fence the paper requires between the two condition checks.
+	var maxSeen uint32
+	for j := 1; j <= geo.MaxClients; j++ {
+		if j == cid {
+			continue
+		}
+		if e := uint32(dev.Load(geo.EraAddr(j, cid))); e > maxSeen {
+			maxSeen = e
+		}
+	}
+	return txnEra <= maxSeen // Condition 2
+}
+
+// ownedSegments lists segments whose state word carries the dead client's ID.
+func (s *Service) ownedSegments(cid int) []int {
+	p := s.pool
+	var owned []int
+	for i := 0; i < p.Geometry().NumSegments; i++ {
+		st := p.SegState(i)
+		if int(st.CID) != cid {
+			continue
+		}
+		switch st.State {
+		case layout.SegActive, layout.SegHugeHead, layout.SegHugeBody:
+			owned = append(owned, i)
+		}
+	}
+	return owned
+}
+
+// sweepRootRefPages releases every reference recorded in the dead client's
+// RootRef pages within segment seg (paper §5.1: "use the content in and only
+// in these pages").
+func (s *Service) sweepRootRefPages(seg int) int {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	swept := 0
+	numPages := int(dev.Load(geo.SegNextPageAddr(seg)))
+	if numPages > geo.PagesPerSegment {
+		numPages = geo.PagesPerSegment
+	}
+	for pg := 0; pg < numPages; pg++ {
+		info := layout.UnpackPageMeta(dev.Load(geo.PageMetaAddr(seg, pg)))
+		if info.Kind != layout.PageKindRootRef {
+			continue
+		}
+		base := geo.PageBase(seg, pg)
+		scanPos := dev.Load(geo.PageMetaAddr(seg, pg) + 2) // pmScan
+		end := base + layout.Addr(geo.PageWords)
+		if scanPos > end {
+			scanPos = end
+		}
+		for slot := base; slot+layout.RootRefWords <= scanPos; slot += layout.RootRefWords {
+			if s.exec.SweepRootRefSlot(slot) {
+				swept++
+			}
+		}
+	}
+	return swept
+}
+
+// sweepHugeOwned frees the dead client's huge objects whose count is zero.
+func (s *Service) sweepHugeOwned(cid int, owned []int) int {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	freed := 0
+	for _, seg := range owned {
+		st := p.SegState(seg)
+		if st.State != layout.SegHugeHead {
+			continue
+		}
+		block := geo.SegmentBase(seg)
+		hdr := layout.UnpackHeader(dev.Load(block + layout.HeaderOff))
+		if hdr.RefCnt > 0 {
+			continue // live: other clients still hold references
+		}
+		rep := s.exec.ScanSegment(seg, true)
+		if rep.Freed {
+			freed++
+		}
+	}
+	return freed
+}
+
+// coveredByLiveHead reports whether body segment seg belongs to a surviving
+// huge object of the dead client.
+func (s *Service) coveredByLiveHead(cid, seg int) bool {
+	p := s.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	for head := seg - 1; head >= 0; head-- {
+		st := p.SegState(head)
+		if int(st.CID) != cid {
+			return false // ownership chain broken
+		}
+		switch st.State {
+		case layout.SegHugeBody:
+			continue // keep walking toward the head
+		case layout.SegHugeHead:
+			block := geo.SegmentBase(head)
+			m := layout.UnpackMeta(dev.Load(block + layout.MetaOff))
+			span := int((m.BlockWords + geo.SegmentWords - 1) / geo.SegmentWords)
+			hdr := layout.UnpackHeader(dev.Load(block + layout.HeaderOff))
+			return hdr.RefCnt > 0 && seg < head+span
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// abandonSegment transitions an owned segment to ABANDONED, preserving the
+// POTENTIAL_LEAKING flag; the monitor rescans abandoned segments until quiet.
+func (s *Service) abandonSegment(seg int) {
+	p := s.pool
+	a := p.Geometry().SegStateAddr(seg)
+	dev := p.Device()
+	for {
+		w := dev.Load(a)
+		st := layout.UnpackSegState(w)
+		if st.State != layout.SegActive {
+			return
+		}
+		st.State = layout.SegAbandoned
+		if dev.CAS(a, w, layout.PackSegState(st)) {
+			return
+		}
+	}
+}
+
+// freeSegment returns a segment to the pool.
+func (s *Service) freeSegment(seg int) {
+	p := s.pool
+	a := p.Geometry().SegStateAddr(seg)
+	st := layout.UnpackSegState(p.Device().Load(a))
+	p.Device().Store(a, layout.PackSegState(layout.SegState{
+		Version: st.Version + 1, State: layout.SegFree,
+	}))
+}

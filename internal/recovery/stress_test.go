@@ -1,0 +1,238 @@
+package recovery_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// TestTwoClientsCrashTogether recovers two clients that died while holding
+// references to each other's objects.
+func TestTwoClientsCrashTogether(t *testing.T) {
+	p := newTestPool(t)
+	a := connect(t, p)
+	b := connect(t, p)
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-shared objects: a's object referenced by b and vice versa.
+	_, objA, err := a.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, objB, err := b.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AttachRoot(objA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AttachRoot(objB); err != nil {
+		t.Fatal(err)
+	}
+	// Plus a queue with an in-flight reference between them.
+	_, q, err := a.CreateQueue(b.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenQueue(q); err != nil {
+		t.Fatal(err)
+	}
+	rm, m, err := a.Malloc(32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(q, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReleaseRoot(rm); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RecoverClient(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RecoverClient(b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 4; i++ {
+		mon.Tick()
+	}
+	res := mustClean(t, p, "two-crash")
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked after double failure", res.AllocatedObjects)
+	}
+	if res.SegmentsOther != 0 {
+		t.Fatalf("%d segments stuck", res.SegmentsOther)
+	}
+}
+
+// TestRecoveryExecutorCrashesMidRecovery injects crashes into the recovery
+// service's own client while it recovers a victim; a fresh service must
+// converge — the recovery is fail-safe (§3.2).
+func TestRecoveryExecutorCrashesMidRecovery(t *testing.T) {
+	for seed := 0; seed < 30; seed++ {
+		p := newTestPool(t)
+		victim := connect(t, p)
+		o := connect(t, p)
+		// The victim dies holding a mix of plain, shared, embedded objects.
+		var oRoots []layout.Addr
+		crash := faultinject.Run(func() { oRoots = scenario(t, victim, o) })
+		if crash != nil {
+			t.Fatal("scenario must not crash without injector")
+		}
+		// Give the victim some unreleased objects too.
+		for i := 0; i < 20; i++ {
+			if _, _, err := victim.Malloc(48, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := victim.Crash(); err != nil {
+			t.Fatal(err)
+		}
+
+		// First recovery attempt: executor armed to die at a random point.
+		svc1, err := recovery.NewService(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc1.Executor().SetInjector(faultinject.Random(int64(seed), 0.02))
+		execCrash := faultinject.Run(func() {
+			_, _ = svc1.RecoverClient(victim.ID())
+		})
+		if execCrash != nil {
+			// The recovery service died mid-recovery. Fence it, recover it,
+			// and run a fresh service for the original victim.
+			if err := p.MarkClientDead(svc1.Executor().ID()); err != nil {
+				t.Fatal(err)
+			}
+			svc2, err := recovery.NewService(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc2.RecoverClient(svc1.Executor().ID()); err != nil {
+				t.Fatalf("seed %d: recover executor: %v", seed, err)
+			}
+			// The victim may be mid-recovered (status Dead still): re-run.
+			if p.ClientStatus(victim.ID()) != layout.ClientRecovered {
+				if _, err := svc2.RecoverClient(victim.ID()); err != nil {
+					t.Fatalf("seed %d: re-recover victim: %v", seed, err)
+				}
+			}
+			svc1 = svc2
+		}
+		for _, r := range oRoots {
+			if _, err := o.ReleaseRoot(r); err != nil {
+				t.Fatalf("seed %d: survivor release: %v", seed, err)
+			}
+		}
+		mon := recovery.NewMonitor(svc1, recovery.MonitorConfig{})
+		for i := 0; i < 5; i++ {
+			mon.Tick()
+		}
+		res := mustClean(t, p, fmt.Sprintf("exec-crash seed=%d (crashed=%v)", seed, execCrash != nil))
+		if res.AllocatedObjects != 0 {
+			t.Fatalf("seed %d: %d objects leaked", seed, res.AllocatedObjects)
+		}
+	}
+}
+
+// TestConcurrentWorkloadWithCrash runs several clients doing random
+// create/share/release concurrently while one of them dies, then validates.
+func TestConcurrentWorkloadWithCrash(t *testing.T) {
+	p, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 12, NumSegments: 64, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 32,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 5
+	type worker struct {
+		c    *shm.Client
+		done chan error
+	}
+	ws := make([]*worker, workers)
+	for i := range ws {
+		c, err := p.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = &worker{c: c, done: make(chan error, 1)}
+	}
+	for i, w := range ws {
+		go func(i int, w *worker) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			var roots []layout.Addr
+			for op := 0; op < 2000; op++ {
+				if i == 0 && op == 1000 {
+					// Worker 0 dies abruptly, mid-stream, holding roots.
+					w.done <- nil
+					return
+				}
+				switch rng.Intn(3) {
+				case 0, 1:
+					root, _, err := w.c.Malloc(16+rng.Intn(200), rng.Intn(2))
+					if err != nil {
+						w.done <- err
+						return
+					}
+					roots = append(roots, root)
+				case 2:
+					if len(roots) > 0 {
+						k := rng.Intn(len(roots))
+						if _, err := w.c.ReleaseRoot(roots[k]); err != nil {
+							w.done <- err
+							return
+						}
+						roots[k] = roots[len(roots)-1]
+						roots = roots[:len(roots)-1]
+					}
+				}
+			}
+			for _, r := range roots {
+				if _, err := w.c.ReleaseRoot(r); err != nil {
+					w.done <- err
+					return
+				}
+			}
+			w.done <- nil
+		}(i, w)
+	}
+	for _, w := range ws {
+		if err := <-w.done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Worker 0 "died": fence and recover it while nothing else runs.
+	if err := ws[0].c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RecoverClient(ws[0].c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 4; i++ {
+		mon.Tick()
+	}
+	res := mustClean(t, p, "concurrent-crash")
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked", res.AllocatedObjects)
+	}
+}

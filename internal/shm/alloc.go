@@ -1,0 +1,479 @@
+package shm
+
+import (
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+)
+
+// Allocation (paper §3.3 and §5.1).
+//
+// Fast path: each client owns segments exclusively (claimed with one CAS on
+// the Global Segment Allocation Vec), carves pages per size class inside
+// them, and allocates blocks from a page with no cross-client
+// synchronization. To tolerate partial failure, cxl_malloc also allocates an
+// implicit RootRef from dedicated RootRef-only pages and performs four
+// carefully ordered steps:
+//
+//	1. claim a RootRef slot (in_use ← 1, pptr ← 0)
+//	2. link: RootRef.pptr ← block          (block still counts as free)
+//	3. advance the page free pointer        (now allocated, refcnt still 0)
+//	4. init block meta + header (refcnt=1), then bump the era
+//
+// A fence orders 2 before 3 and a flush persists the RootRef. Recovery can
+// then classify any crash point: pptr==free-pointer ⇒ the allocation never
+// completed step 3, skip the release (§5.1); header refcnt==0 ⇒ step 4 never
+// completed, free only the RootRef.
+
+// blockSlot describes a block reserved (but not yet advanced past) in a page.
+type blockSlot struct {
+	pr       pageRef
+	addr     layout.Addr
+	fromFree bool        // true: head of the page free list; false: bump region
+	next     layout.Addr // new free-list head or new bump pointer
+}
+
+// freeNextOff is the block-relative word holding the intrusive free-list
+// next pointer while the block is free. It lives in the data area so the
+// header word of a free block can stay zero.
+const freeNextOff = layout.DataOff
+
+// Page meta word offsets within a page's meta area.
+const (
+	pmInfo = 0 // packed PageMeta (kind, used, size class)
+	pmFree = 1 // free-list head
+	pmScan = 2 // bump pointer into the never-allocated tail of the page
+)
+
+func (c *Client) pageMetaAddr(pr pageRef) layout.Addr { return c.geo.PageMetaAddr(pr.seg, pr.page) }
+
+// Malloc allocates dataBytes of shared memory with embedRefs embedded
+// references at the start of the data area (paper §3.1: cxl_malloc). It
+// returns the RootRef address (what a CXLRef points to) and the block
+// address. The returned object has reference count 1, held by the RootRef.
+func (c *Client) Malloc(dataBytes, embedRefs int) (root, block layout.Addr, err error) {
+	var t0 time.Time
+	if c.breakdown != nil {
+		t0 = time.Now()
+	}
+	root, block, err = c.malloc(dataBytes, embedRefs)
+	if c.breakdown != nil {
+		c.breakdown.Total += time.Since(t0)
+		c.breakdown.Ops++
+	}
+	return root, block, err
+}
+
+func (c *Client) malloc(dataBytes, embedRefs int) (layout.Addr, layout.Addr, error) {
+	if c.h.Fenced() {
+		return 0, 0, ErrFenced
+	}
+	if dataBytes < 1 {
+		dataBytes = 1
+	}
+	if embedRefs < 0 || embedRefs > layout.MaxEmbedRefs ||
+		embedRefs*layout.WordBytes > dataBytes {
+		return 0, 0, ErrBadEmbedIndex
+	}
+	root, err := c.allocRootRef()
+	if err != nil {
+		return 0, 0, err
+	}
+	ci := layout.ClassIndexFor(c.geo.Classes, dataBytes)
+	if ci < 0 {
+		block, err := c.allocHuge(root, dataBytes, embedRefs)
+		if err != nil {
+			c.abortRootRef(root)
+			return 0, 0, err
+		}
+		return root, block, nil
+	}
+	slot, err := c.findBlock(ci)
+	if err != nil {
+		c.abortRootRef(root)
+		return 0, 0, err
+	}
+
+	// Step 2: link. The RootRef now points at a block that is still, from
+	// the page's perspective, free.
+	c.h.Store(root+layout.RootRefPptrOff, slot.addr)
+	c.hit(faultinject.AfterLink)
+	c.timedFence()
+
+	// Step 3: advance the free pointer. Must strictly follow the link (the
+	// paper's fence): advancing first could leak the block, linking first is
+	// recovered by the pptr==free-pointer check.
+	c.advanceSlot(slot)
+	c.hit(faultinject.AfterAdvance)
+	c.timedFence()
+	c.timedFlush(root)
+
+	// Step 4: initialize the block. Embedded reference words must be zero
+	// before the object becomes visible (recovery DFS walks them).
+	for i := 0; i < embedRefs; i++ {
+		c.h.Store(slot.addr+layout.DataOff+layout.Addr(i), 0)
+	}
+	cls := c.geo.Classes[ci]
+	c.h.Store(slot.addr+layout.MetaOff, layout.PackMeta(layout.Meta{
+		Flags:      layout.MetaAllocated,
+		EmbedCnt:   uint16(embedRefs),
+		BlockWords: cls.BlockWords,
+	}))
+	c.hit(faultinject.AfterBlockMeta)
+	c.h.Store(slot.addr+layout.HeaderOff, layout.PackHeader(layout.Header{
+		LCID:   uint16(c.cid),
+		LEra:   c.era,
+		RefCnt: 1,
+	}))
+	c.hit(faultinject.AfterHeaderInit)
+	// Publishing a header at the current era is a commit-like event: bump so
+	// every published (cid, era) pair stays unique (recovery Conditions 1/2
+	// depend on it). This is the §5.1 "special algorithm for the
+	// initialization of reference count".
+	c.bumpEra()
+	return root, slot.addr, nil
+}
+
+// findBlock reserves a block of class ci without advancing past it.
+func (c *Client) findBlock(ci int) (blockSlot, error) {
+	for {
+		list := c.classPages[ci]
+		for len(list) > 0 {
+			pr := list[len(list)-1]
+			if s, ok := c.tryPage(pr, ci); ok {
+				return s, nil
+			}
+			list = list[:len(list)-1]
+			c.classPages[ci] = list
+		}
+		if c.collectDeferredFrees(ci) {
+			continue
+		}
+		pr, err := c.claimPage(layout.PageKindNormal, ci)
+		if err != nil {
+			return blockSlot{}, err
+		}
+		c.classPages[ci] = append(c.classPages[ci], pr)
+	}
+}
+
+// tryPage reserves a block in pr: first from the page free list, then from
+// the never-allocated bump region.
+func (c *Client) tryPage(pr pageRef, ci int) (blockSlot, bool) {
+	meta := c.pageMetaAddr(pr)
+	if head := c.h.Load(meta + pmFree); head != 0 {
+		return blockSlot{
+			pr:       pr,
+			addr:     head,
+			fromFree: true,
+			next:     c.h.Load(head + freeNextOff),
+		}, true
+	}
+	scan := c.h.Load(meta + pmScan)
+	bw := c.geo.Classes[ci].BlockWords
+	end := c.geo.PageBase(pr.seg, pr.page) + layout.Addr(c.geo.PageWords)
+	if scan+bw <= end {
+		return blockSlot{pr: pr, addr: scan, fromFree: false, next: scan + bw}, true
+	}
+	return blockSlot{}, false
+}
+
+// advanceSlot performs the §5.1 step 3: move the page free pointer past the
+// reserved block, and bump the page's used count.
+func (c *Client) advanceSlot(s blockSlot) {
+	meta := c.pageMetaAddr(s.pr)
+	if s.fromFree {
+		c.h.Store(meta+pmFree, s.next)
+	} else {
+		c.h.Store(meta+pmScan, s.next)
+	}
+	info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+	info.Used++
+	c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+}
+
+// collectDeferredFrees drains the client_free lists of this client's
+// segments (blocks freed by other clients, paper Figure 3), distributing
+// blocks back to their pages' free lists. Reports whether any block of class
+// ci came back (so the caller retries before claiming fresh pages).
+func (c *Client) collectDeferredFrees(ci int) bool {
+	found := false
+	for _, seg := range c.segments {
+		cf := c.geo.SegClientFreeAddr(seg)
+		var head layout.Addr
+		for {
+			head = c.h.Load(cf)
+			if head == 0 {
+				break
+			}
+			if c.h.CAS(cf, head, 0) {
+				break
+			}
+		}
+		for head != 0 {
+			next := c.h.Load(head + freeNextOff)
+			pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, head)}
+			meta := c.pageMetaAddr(pr)
+			info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+			c.h.Store(head+freeNextOff, c.h.Load(meta+pmFree))
+			c.h.Store(meta+pmFree, head)
+			if info.Used > 0 {
+				info.Used--
+			}
+			c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+			if int(info.SizeClass) == ci && info.Kind == layout.PageKindNormal {
+				found = true
+				c.readdClassPage(ci, pr)
+			}
+			head = next
+		}
+	}
+	return found
+}
+
+// readdClassPage puts pr back on the class page cache if absent.
+func (c *Client) readdClassPage(ci int, pr pageRef) {
+	for _, p := range c.classPages[ci] {
+		if p == pr {
+			return
+		}
+	}
+	c.classPages[ci] = append(c.classPages[ci], pr)
+}
+
+// claimPage takes the next unclaimed page in an owned segment (claiming a
+// new segment if needed) and dedicates it to kind/class. Being the slow
+// path, it also runs the paper's periodic duty (§5.3): scan any owned
+// segment left in POTENTIAL_LEAKING state by an interrupted reclamation.
+func (c *Client) claimPage(kind uint8, ci int) (pageRef, error) {
+	c.scanFlaggedOwned()
+	for _, seg := range c.segments {
+		if pr, ok := c.claimPageIn(seg, kind, ci); ok {
+			return pr, nil
+		}
+	}
+	seg, err := c.claimSegment()
+	if err != nil {
+		return pageRef{}, err
+	}
+	if pr, ok := c.claimPageIn(seg, kind, ci); ok {
+		return pr, nil
+	}
+	return pageRef{}, ErrOutOfMemory
+}
+
+func (c *Client) claimPageIn(seg int, kind uint8, ci int) (pageRef, bool) {
+	npAddr := c.geo.SegNextPageAddr(seg)
+	n := int(c.h.Load(npAddr))
+	if n >= c.geo.PagesPerSegment {
+		return pageRef{}, false
+	}
+	pr := pageRef{seg: seg, page: n}
+	meta := c.pageMetaAddr(pr)
+	// Initialize the page meta before publishing it via the next-page
+	// counter; the segment is exclusively ours so this is owner-local.
+	c.h.Store(meta+pmInfo, layout.PackPageMeta(layout.PageMeta{
+		Kind: kind, Used: 0, SizeClass: uint32(ci),
+	}))
+	c.h.Store(meta+pmFree, 0)
+	c.h.Store(meta+pmScan, c.geo.PageBase(seg, n))
+	c.h.Store(npAddr, uint64(n+1))
+	return pr, true
+}
+
+// claimSegment CASes a free segment to exclusive ownership (the only
+// cross-client synchronization in the allocation path).
+func (c *Client) claimSegment() (int, error) {
+	for i := 0; i < c.geo.NumSegments; i++ {
+		a := c.geo.SegStateAddr(i)
+		w := c.h.Load(a)
+		st := layout.UnpackSegState(w)
+		if st.State != layout.SegFree {
+			continue
+		}
+		nw := layout.PackSegState(layout.SegState{
+			CID: uint16(c.cid), Version: st.Version + 1, State: layout.SegActive,
+		})
+		if !c.h.CAS(a, w, nw) {
+			continue
+		}
+		// Reset the owner-local page counter; page metas are initialized
+		// lazily at claimPageIn.
+		c.h.Store(c.geo.SegNextPageAddr(i), 0)
+		c.hit(faultinject.AfterSegmentClaim)
+		c.segments = append(c.segments, i)
+		return i, nil
+	}
+	if c.h.Fenced() {
+		return 0, ErrFenced
+	}
+	return 0, ErrOutOfMemory
+}
+
+// --- RootRef slots ---
+
+// allocRootRef claims one 2-word RootRef slot from a RootRef-only page.
+// Unlike data blocks, the advance happens before the claim: a slot's
+// liveness marker is its own in_use bit, so the crash window leaves either a
+// lost free slot (re-found by the segment-local scan) or an in_use slot with
+// pptr==0 (freed by recovery).
+func (c *Client) allocRootRef() (layout.Addr, error) {
+	for {
+		for len(c.rootPages) > 0 {
+			pr := c.rootPages[len(c.rootPages)-1]
+			meta := c.pageMetaAddr(pr)
+			var slot layout.Addr
+			if head := c.h.Load(meta + pmFree); head != 0 {
+				slot = head
+				c.h.Store(meta+pmFree, c.h.Load(head+layout.RootRefPptrOff))
+			} else {
+				scan := c.h.Load(meta + pmScan)
+				end := c.geo.PageBase(pr.seg, pr.page) + layout.Addr(c.geo.PageWords)
+				if scan+layout.RootRefWords > end {
+					c.rootPages = c.rootPages[:len(c.rootPages)-1]
+					continue
+				}
+				slot = scan
+				c.h.Store(meta+pmScan, scan+layout.RootRefWords)
+			}
+			c.hit(faultinject.AfterRootRefAdvance)
+			// pptr must be zeroed before in_use is set: recovery treats any
+			// in_use slot's pptr as a live reference.
+			c.h.Store(slot+layout.RootRefPptrOff, 0)
+			c.h.Store(slot, layout.PackRootRef(true, 1))
+			c.hit(faultinject.AfterRootRefClaim)
+			info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+			info.Used++
+			c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+			return slot, nil
+		}
+		pr, err := c.claimPage(layout.PageKindRootRef, 0)
+		if err != nil {
+			return 0, err
+		}
+		c.rootPages = append(c.rootPages, pr)
+	}
+}
+
+// abortRootRef returns a just-claimed, never-linked RootRef slot (block
+// allocation failed after the claim).
+func (c *Client) abortRootRef(slot layout.Addr) {
+	c.freeRootRefSlot(slot)
+}
+
+// freeRootRefSlot clears a RootRef and pushes it back to its page free list
+// (owner-local; RootRefs always live in their creator's pages).
+func (c *Client) freeRootRefSlot(slot layout.Addr) {
+	c.h.Store(slot, 0)
+	c.hit(faultinject.AfterRootRefClear)
+	seg := c.geo.SegmentIndexOf(slot)
+	pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, slot)}
+	st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
+	if int(st.CID) != c.cid || st.State != layout.SegActive {
+		// Not ours (recovery executor freeing a dead client's RootRef): the
+		// slot is in an abandoned page, just leave it cleared — the segment
+		// scan reclaims the page wholesale.
+		return
+	}
+	meta := c.pageMetaAddr(pr)
+	c.h.Store(slot+layout.RootRefPptrOff, c.h.Load(meta+pmFree))
+	c.h.Store(meta+pmFree, slot)
+	info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+	if info.Used > 0 {
+		info.Used--
+	}
+	c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+}
+
+// --- huge objects ---
+
+// allocHuge claims enough contiguous whole segments for an object larger
+// than the biggest size class, with the paper's retry-and-rollback method.
+func (c *Client) allocHuge(root layout.Addr, dataBytes, embedRefs int) (layout.Addr, error) {
+	totalWords := uint64(layout.BlockHeaderWords) + uint64((dataBytes+layout.WordBytes-1)/layout.WordBytes)
+	k := int((totalWords + c.geo.SegmentWords - 1) / c.geo.SegmentWords)
+	if k > c.geo.NumSegments {
+		return 0, ErrTooLarge
+	}
+	start := c.claimHugeRun(k)
+	if start < 0 {
+		if c.h.Fenced() {
+			return 0, ErrFenced
+		}
+		return 0, ErrOutOfMemory
+	}
+	block := c.geo.SegmentBase(start)
+
+	// Same ordering discipline as the small path: link, fence, init.
+	// Claiming the segments plays the role of advancing the free pointer —
+	// on a crash the run is owned by the dead client and reclaimed with it.
+	c.h.Store(root+layout.RootRefPptrOff, block)
+	c.hit(faultinject.AfterLink)
+	c.timedFence()
+	c.timedFlush(root)
+	for i := 0; i < embedRefs; i++ {
+		c.h.Store(block+layout.DataOff+layout.Addr(i), 0)
+	}
+	c.h.Store(block+layout.MetaOff, layout.PackMeta(layout.Meta{
+		Flags:      layout.MetaAllocated | layout.MetaHuge,
+		EmbedCnt:   uint16(embedRefs),
+		BlockWords: totalWords,
+	}))
+	c.hit(faultinject.AfterBlockMeta)
+	c.h.Store(block+layout.HeaderOff, layout.PackHeader(layout.Header{
+		LCID: uint16(c.cid), LEra: c.era, RefCnt: 1,
+	}))
+	c.hit(faultinject.AfterHeaderInit)
+	c.bumpEra()
+	return block, nil
+}
+
+// claimHugeRun claims k contiguous free segments, rolling back on conflict.
+// Returns the first segment index or -1.
+func (c *Client) claimHugeRun(k int) int {
+	for start := 0; start+k <= c.geo.NumSegments; start++ {
+		claimed := 0
+		ok := true
+		for j := 0; j < k; j++ {
+			a := c.geo.SegStateAddr(start + j)
+			w := c.h.Load(a)
+			st := layout.UnpackSegState(w)
+			if st.State != layout.SegFree {
+				ok = false
+				break
+			}
+			state := uint8(layout.SegHugeBody)
+			if j == 0 {
+				state = layout.SegHugeHead
+			}
+			nw := layout.PackSegState(layout.SegState{
+				CID: uint16(c.cid), Version: st.Version + 1, State: state,
+			})
+			if !c.h.CAS(a, w, nw) {
+				ok = false
+				break
+			}
+			claimed++
+			c.hit(faultinject.AfterHugeClaim)
+		}
+		if ok {
+			return start
+		}
+		// Rollback: release the prefix we claimed.
+		for j := 0; j < claimed; j++ {
+			c.releaseSegment(start + j)
+		}
+	}
+	return -1
+}
+
+// releaseSegment returns an owned segment to the free pool, bumping the
+// version to defeat ABA on future claims.
+func (c *Client) releaseSegment(i int) {
+	a := c.geo.SegStateAddr(i)
+	st := layout.UnpackSegState(c.h.Load(a))
+	c.h.Store(a, layout.PackSegState(layout.SegState{
+		Version: st.Version + 1, State: layout.SegFree,
+	}))
+}

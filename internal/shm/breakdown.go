@@ -1,0 +1,51 @@
+package shm
+
+import "time"
+
+// Breakdown accumulates where allocation fast-path time goes, reproducing
+// the paper's Figure 7 cost split: cache flush, memory fence, and the rest
+// of the allocation work. It counts flush/fence invocations and the total
+// wall time; shares are computed from the configured per-operation costs —
+// timing each ~100ns flush individually would perturb the measurement more
+// than the thing measured.
+type Breakdown struct {
+	FlushOps uint64
+	FenceOps uint64
+	Total    time.Duration
+	Ops      uint64
+}
+
+// Shares returns the flush/fence/alloc split in percent, given the modelled
+// per-operation costs in nanoseconds.
+func (b *Breakdown) Shares(flushNS, fenceNS int) (flush, fence, alloc float64) {
+	if b.Total <= 0 {
+		return 0, 0, 0
+	}
+	t := float64(b.Total.Nanoseconds())
+	flush = 100 * float64(b.FlushOps) * float64(flushNS) / t
+	fence = 100 * float64(b.FenceOps) * float64(fenceNS) / t
+	if flush > 100 {
+		flush = 100
+	}
+	if flush+fence > 100 {
+		fence = 100 - flush
+	}
+	alloc = 100 - flush - fence
+	return
+}
+
+// timedFence performs an SFence, counting it if a breakdown is attached.
+func (c *Client) timedFence() {
+	c.h.SFence()
+	if c.breakdown != nil {
+		c.breakdown.FenceOps++
+	}
+}
+
+// timedFlush performs a Flush, counting it if a breakdown is attached.
+func (c *Client) timedFlush(a uint64) {
+	c.h.Flush(a)
+	if c.breakdown != nil {
+		c.breakdown.FlushOps++
+	}
+}

@@ -1,0 +1,167 @@
+package shm
+
+import (
+	"repro/internal/cxl"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+)
+
+// Client is one participant of the RDSM: a thread, process, or machine with
+// its own failure domain. A Client is single-goroutine (the paper's model is
+// one client per thread; CXLRef is explicitly not thread-safe, §3.1); the
+// Pool underneath is fully concurrent.
+type Client struct {
+	pool *Pool
+	geo  *layout.Geometry
+	h    *cxl.Handle
+	cid  int
+
+	// era is the cached value of Era[cid][cid] (the device word is the
+	// authoritative copy, written through on every bump).
+	era uint32
+	// eraRow caches Era[cid][j] for j != cid, avoiding a device load per
+	// observation; also written through.
+	eraRow []uint32
+
+	// classPages[c] lists this client's pages of size class c that may have
+	// free blocks. rootPages lists its RootRef pages. Local caches only:
+	// recovery reconstructs everything from segment metadata.
+	classPages [][]pageRef
+	rootPages  []pageRef
+	// segments lists owned segment indices (local cache).
+	segments []int
+
+	// fi is the crash injector (nil in production).
+	fi *faultinject.Injector
+
+	// breakdown, when non-nil, accumulates the Figure 7 cost split.
+	breakdown *Breakdown
+
+	// retiredList parks unlinked nodes awaiting hazard-era reclamation
+	// (hazard.go). Local state: a crash abandons it, and the segment-local
+	// scan reclaims the parked (refcount-zero, flagged) nodes instead.
+	retiredList []retired
+
+	closed bool
+}
+
+// pageRef locates one page.
+type pageRef struct {
+	seg, page int
+}
+
+// Connect claims a client slot and joins the pool. Slots of cleanly
+// recovered clients are reused after free slots are exhausted; the new
+// incarnation continues the slot's era sequence so committed-era uniqueness
+// is preserved across reuse.
+func (p *Pool) Connect() (*Client, error) {
+	geo := p.geo
+	claim := func(want uint64) int {
+		for cid := 1; cid <= geo.MaxClients; cid++ {
+			a := geo.ClientStatusAddr(cid)
+			if p.dev.Load(a) == want && p.dev.CAS(a, want, layout.ClientAlive) {
+				return cid
+			}
+		}
+		return 0
+	}
+	cid := claim(layout.ClientSlotFree)
+	if cid == 0 {
+		cid = claim(layout.ClientRecovered)
+	}
+	if cid == 0 {
+		return nil, ErrTooManyClients
+	}
+	p.dev.UnfenceClient(cid)
+	c := &Client{
+		pool:       p,
+		geo:        geo,
+		h:          p.dev.Open(cid),
+		cid:        cid,
+		eraRow:     make([]uint32, geo.MaxClients+1),
+		classPages: make([][]pageRef, len(geo.Classes)),
+	}
+	// Continue the era sequence of the previous incarnation; start at 1 on a
+	// fresh slot (era 0 never appears in a committed header, so the all-zero
+	// matrix can't satisfy recovery's Condition 2 spuriously).
+	prev := uint32(p.dev.Load(geo.EraAddr(cid, cid)))
+	c.era = prev + 1
+	c.h.Store(geo.EraAddr(cid, cid), uint64(c.era))
+	for j := 1; j <= geo.MaxClients; j++ {
+		if j != cid {
+			c.eraRow[j] = uint32(p.dev.Load(geo.EraAddr(cid, j)))
+		}
+	}
+	c.Heartbeat()
+	return c, nil
+}
+
+// ID returns the client's ID (1-based).
+func (c *Client) ID() int { return c.cid }
+
+// Pool returns the pool this client is connected to.
+func (c *Client) Pool() *Pool { return c.pool }
+
+// Era returns the client's current era (Era[cid][cid]).
+func (c *Client) Era() uint32 { return c.era }
+
+// SetInjector arms a crash injector on this client (tests only).
+func (c *Client) SetInjector(fi *faultinject.Injector) { c.fi = fi }
+
+// SetBreakdown attaches a Figure 7 cost accumulator.
+func (c *Client) SetBreakdown(b *Breakdown) { c.breakdown = b }
+
+// Heartbeat advances the client's liveness counter; the monitor declares
+// clients dead when the counter stops advancing.
+func (c *Client) Heartbeat() {
+	a := c.geo.ClientHeartbeatAddr(c.cid)
+	c.h.Store(a, c.h.Load(a)+1)
+}
+
+// Fenced reports whether this client has been RAS-fenced.
+func (c *Client) Fenced() bool { return c.h.Fenced() }
+
+// Close marks the client dead so the recovery service reclaims everything
+// it still possesses. A client that released all its references beforehand
+// leaves nothing to reclaim; one that exits holding references relies on
+// recovery, exactly like a crashed client (the paper draws no distinction:
+// clients "are free to join, exit, and even fail", §1.2).
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.pool.MarkClientDead(c.cid)
+}
+
+// Crash simulates an abrupt client death: identical to Close but named for
+// test readability.
+func (c *Client) Crash() error { return c.Close() }
+
+// --- era matrix bookkeeping ---
+
+// observeEra implements lines 4–6 of Figure 4(c): record the largest era of
+// lcid this client has seen. Write-through with a local cache; row cid is
+// single-writer (this client), so the cache is exact.
+func (c *Client) observeEra(lcid uint16, lera uint32) {
+	j := int(lcid)
+	if j <= 0 || j > c.geo.MaxClients || j == c.cid {
+		return
+	}
+	if c.eraRow[j] < lera {
+		c.eraRow[j] = lera
+		c.h.Store(c.geo.EraAddr(c.cid, j), uint64(lera))
+	}
+}
+
+// bumpEra increments Era[cid][cid] after a committed header publication
+// (line 12 of Figure 4(c); also after allocation's header init so every
+// published (cid, era) pair is unique to one commit — recovery's Conditions
+// 1 and 2 rely on that uniqueness).
+func (c *Client) bumpEra() {
+	c.era++
+	c.h.Store(c.geo.EraAddr(c.cid, c.cid), uint64(c.era))
+}
+
+// hit triggers the crash injector at a named point.
+func (c *Client) hit(p faultinject.Point) { c.fi.Hit(p) }

@@ -1,0 +1,80 @@
+package shm
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Direct data access (paper §3.1 step 5/6: get_addr + loads/stores/CAS).
+// Every accessor is bounds-checked against the object's data area (writing
+// past an object would clobber the next block's header). Offsets are
+// relative to the whole data area, which *includes* the embedded-reference
+// words at its start: callers that declared embedded references must not
+// overwrite those words through these raw accessors — use the embed
+// operations (SetEmbed/ChangeEmbed/...) which keep the counts right.
+
+// DataBytesOf returns the usable data size of an allocated block.
+func (c *Client) DataBytesOf(block layout.Addr) int {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	if !m.Allocated() {
+		return 0
+	}
+	return int(m.BlockWords-layout.BlockHeaderWords) * layout.WordBytes
+}
+
+// checkDataRange panics on an access past the object's data area. Writing
+// past an object would clobber the neighbouring block's header — precisely
+// the corruption class this system exists to prevent — so, like a wild
+// device access, it is treated as a bug, not a recoverable error.
+func (c *Client) checkDataRange(block layout.Addr, off, n int) {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	limit := int(m.BlockWords-layout.BlockHeaderWords) * layout.WordBytes
+	if off < 0 || n < 0 || off+n > limit {
+		panic(fmt.Sprintf("shm: data access [%d,%d) outside object of %d bytes at %#x",
+			off, off+n, limit, block))
+	}
+}
+
+// ReadData copies n=len(p) bytes from the object's data area at byte offset
+// off. Accesses outside the object panic.
+func (c *Client) ReadData(block layout.Addr, off int, p []byte) {
+	c.checkDataRange(block, off, len(p))
+	c.h.ReadBytes(block+layout.DataOff, off, p)
+}
+
+// WriteData writes p into the object's data area at byte offset off.
+// Accesses outside the object panic.
+func (c *Client) WriteData(block layout.Addr, off int, p []byte) {
+	c.checkDataRange(block, off, len(p))
+	c.h.WriteBytes(block+layout.DataOff, off, p)
+}
+
+// LoadWord atomically reads data word i of the object.
+func (c *Client) LoadWord(block layout.Addr, i int) uint64 {
+	c.checkDataRange(block, i*layout.WordBytes, layout.WordBytes)
+	return c.h.Load(block + layout.DataOff + layout.Addr(i))
+}
+
+// StoreWord atomically writes data word i of the object.
+func (c *Client) StoreWord(block layout.Addr, i int, v uint64) {
+	c.checkDataRange(block, i*layout.WordBytes, layout.WordBytes)
+	c.h.Store(block+layout.DataOff+layout.Addr(i), v)
+}
+
+// CASWord atomically compares-and-swaps data word i of the object —
+// the RDSM primitive that shared-everything data structures build on.
+func (c *Client) CASWord(block layout.Addr, i int, old, new uint64) bool {
+	c.checkDataRange(block, i*layout.WordBytes, layout.WordBytes)
+	return c.h.CAS(block+layout.DataOff+layout.Addr(i), old, new)
+}
+
+// HeaderOf reads an object's header (for validation and tests).
+func (c *Client) HeaderOf(block layout.Addr) layout.Header {
+	return layout.UnpackHeader(c.h.Load(block + layout.HeaderOff))
+}
+
+// MetaOf reads an object's meta word (for validation and tests).
+func (c *Client) MetaOf(block layout.Addr) layout.Meta {
+	return layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+}

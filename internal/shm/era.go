@@ -1,0 +1,363 @@
+package shm
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+)
+
+// The era-based non-blocking reference count maintenance algorithm
+// (paper §4.3, Figure 4).
+//
+// A transaction has two phases: ModifyRefCnt — a single CAS on the object
+// header {lcid, lera, ref_cnt}, not idempotent, never redone, the commit
+// point — and ModifyRef — writing the reference word, idempotent under the
+// single-writer-multi-reader rule, replayed by recovery when the client dies
+// between the phases. The era matrix (each client's row in its
+// ClientLocalState) provides the happens-before evidence recovery needs:
+//
+//	Condition 1: the last-touched object's header still carries
+//	             (lcid==i, lera==Era[i][i]).
+//	Condition 2: Era[i][i] <= max over j!=i of Era[j][i].
+//
+// Both conditions rely on every published (cid, era) pair being unique to a
+// single commit, which is why allocation's header init and every commit CAS
+// are followed by an era bump, and why the redo entry is cleared immediately
+// after the bump.
+
+// AttachReference attaches the reference at ref to the object at refed:
+// refed.ref_cnt++ then *ref = refed (Figure 4(c) verbatim). ref must be a
+// reference word owned (written) solely by this client: a RootRef pptr, an
+// owned queue slot, or an embedded reference under the single-writer rule.
+func (c *Client) AttachReference(ref, refed layout.Addr) error {
+	for {
+		savedW := c.h.Load(refed + layout.HeaderOff)
+		saved := layout.UnpackHeader(savedW)
+		if saved.RefCnt == 0 {
+			return ErrStaleReference
+		}
+		if saved.RefCnt == layout.MaxRefCount {
+			return ErrRefCountOverflow
+		}
+		c.observeEra(saved.LCID, saved.LEra) // lines 4-6
+		c.logRedo(RedoEntry{
+			Op: OpAttach, Era: c.era, Ref: ref, Refed: refed, SavedCnt: saved.RefCnt,
+		})
+		c.hit(faultinject.AfterRedoLog)
+		newW := layout.PackHeader(layout.Header{
+			LCID: uint16(c.cid), LEra: c.era, RefCnt: saved.RefCnt + 1,
+		})
+		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
+			break
+		}
+		if c.h.Fenced() {
+			return ErrFenced
+		}
+	}
+	c.hit(faultinject.AfterCommitCAS)
+	c.h.Store(ref, refed) // ModifyRef
+	c.hit(faultinject.AfterModifyRef)
+	c.bumpEra()
+	c.hit(faultinject.AfterEraBump)
+	c.clearRedo()
+	return nil
+}
+
+// ReleaseReference releases the reference at ref to the object at refed:
+// refed.ref_cnt-- then *ref = NULL, reclaiming the object if the count
+// reached zero (§5.3). Reports whether this release freed the object.
+func (c *Client) ReleaseReference(ref, refed layout.Addr) (freed bool, err error) {
+	newCnt, pending, err := c.releaseTxn(ref, refed)
+	if err != nil {
+		return false, err
+	}
+	if pending {
+		c.reclaim(refed)
+	}
+	return newCnt == 0, nil
+}
+
+// releaseTxn runs the decrement transaction and returns the new count.
+//
+// When the count reaches zero and the object is plain (no embedded
+// references), it is reclaimed inline before the transaction closes: a crash
+// mid-reclaim leaves the redo entry valid, and recovery — seeing a release
+// that hit zero — flags the segment POTENTIAL_LEAKING instead of redoing the
+// non-idempotent free (§5.3). When the object carries embedded references,
+// the reclaim needs further transactions, so this transaction flags the
+// segment itself before closing and the caller runs the cascade afterwards.
+func (c *Client) releaseTxn(ref, refed layout.Addr) (newCnt uint16, pendingReclaim bool, err error) {
+	return c.releaseTxnMode(ref, refed, false)
+}
+
+// releaseRetire is releaseTxn with deferred reclamation: a zero count flags
+// the segment and reports pending, but nothing is freed (hazard.go parks
+// the node instead).
+func (c *Client) releaseRetire(ref, refed layout.Addr) (newCnt uint16, pendingReclaim bool, err error) {
+	return c.releaseTxnMode(ref, refed, true)
+}
+
+func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim bool) (newCnt uint16, pendingReclaim bool, err error) {
+	if c.h.Fenced() {
+		return 0, false, ErrFenced
+	}
+	for {
+		savedW := c.h.Load(refed + layout.HeaderOff)
+		saved := layout.UnpackHeader(savedW)
+		if saved.RefCnt == 0 {
+			return 0, false, ErrStaleReference
+		}
+		c.observeEra(saved.LCID, saved.LEra)
+		c.logRedo(RedoEntry{
+			Op: OpRelease, Era: c.era, Ref: ref, Refed: refed, SavedCnt: saved.RefCnt,
+		})
+		c.hit(faultinject.AfterRedoLog)
+		newCnt = saved.RefCnt - 1
+		newW := layout.PackHeader(layout.Header{
+			LCID: uint16(c.cid), LEra: c.era, RefCnt: newCnt,
+		})
+		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
+			break
+		}
+		if c.h.Fenced() {
+			return 0, false, ErrFenced
+		}
+	}
+	c.hit(faultinject.AfterCommitCAS)
+	c.h.Store(ref, 0) // ModifyRef
+	c.hit(faultinject.AfterModifyRef)
+	if newCnt == 0 {
+		c.hit(faultinject.BeforeReclaim)
+		m := layout.UnpackMeta(c.h.Load(refed + layout.MetaOff))
+		switch {
+		case deferReclaim:
+			// Hazard-era retire: flag for the scan (covers our death) and
+			// let the caller park the node; nothing is freed yet.
+			c.flagSegmentLeaking(refed)
+			pendingReclaim = true
+		case m.EmbedCnt == 0:
+			// Plain object: reclaim inside the transaction window. A crash
+			// here is covered by the still-valid redo entry (recovery flags
+			// the segment, §5.3).
+			c.reclaimRaw(refed)
+		default:
+			// Embed-carrying object: the cascade needs its own transactions,
+			// so flag the segment before this transaction closes; the caller
+			// must run the cascade once we return.
+			c.flagSegmentLeaking(refed)
+			pendingReclaim = true
+		}
+	}
+	c.bumpEra()
+	c.hit(faultinject.AfterEraBump)
+	c.clearRedo()
+	return newCnt, pendingReclaim, nil
+}
+
+// ChangeReference atomically re-points the embedded reference at ref from
+// object a to object b (§5.4): decrement a via CAS, bump the era, increment
+// b via CAS, write the reference, bump the era again. The double bump lets
+// recovery tell which of the two non-idempotent CASes committed.
+func (c *Client) ChangeReference(ref, a, b layout.Addr) error {
+	return c.changeTxn(ref, a, b, false)
+}
+
+func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
+	if c.h.Fenced() {
+		return ErrFenced
+	}
+	// The caller must hold a counted reference to b for the duration of the
+	// change (§5.2's rule: hold a reference until the remote attachment
+	// exists). Verify before phase 1 so a user error is rejected before the
+	// first — unrollable — CAS commits.
+	if pre := layout.UnpackHeader(c.h.Load(b + layout.HeaderOff)); pre.RefCnt == 0 {
+		return ErrStaleReference
+	}
+	// Phase 1: decrement a.
+	var newCntA uint16
+	for {
+		savedW := c.h.Load(a + layout.HeaderOff)
+		saved := layout.UnpackHeader(savedW)
+		if saved.RefCnt == 0 {
+			return ErrStaleReference
+		}
+		c.observeEra(saved.LCID, saved.LEra)
+		c.logRedo(RedoEntry{
+			Op: OpChange, Era: c.era, Ref: ref, Refed: a, SavedCnt: saved.RefCnt, Refed2: b,
+		})
+		c.hit(faultinject.AfterRedoLog)
+		newCntA = saved.RefCnt - 1
+		newW := layout.PackHeader(layout.Header{
+			LCID: uint16(c.cid), LEra: c.era, RefCnt: newCntA,
+		})
+		if c.h.CAS(a+layout.HeaderOff, savedW, newW) {
+			break
+		}
+		if c.h.Fenced() {
+			return ErrFenced
+		}
+	}
+	c.hit(faultinject.AfterChangeDecCAS)
+	c.bumpEra()
+	c.hit(faultinject.AfterChangeFirstEra)
+
+	// Phase 2: increment b.
+	for {
+		savedW := c.h.Load(b + layout.HeaderOff)
+		saved := layout.UnpackHeader(savedW)
+		if saved.RefCnt == 0 {
+			return ErrStaleReference
+		}
+		if saved.RefCnt == layout.MaxRefCount {
+			return ErrRefCountOverflow
+		}
+		c.observeEra(saved.LCID, saved.LEra)
+		c.relogSavedCnt2(saved.RefCnt)
+		newW := layout.PackHeader(layout.Header{
+			LCID: uint16(c.cid), LEra: c.era, RefCnt: saved.RefCnt + 1,
+		})
+		if c.h.CAS(b+layout.HeaderOff, savedW, newW) {
+			break
+		}
+		if c.h.Fenced() {
+			return ErrFenced
+		}
+	}
+	c.hit(faultinject.AfterChangeIncCAS)
+	c.h.Store(ref, b) // ModifyRef
+	c.hit(faultinject.AfterChangeModify)
+	c.bumpEra()
+	if newCntA == 0 {
+		// Flag before invalidating the entry: once the entry is gone the
+		// scan flag is the only thing pointing at the pending reclaim.
+		c.flagSegmentLeaking(a)
+	}
+	c.clearRedo()
+	if newCntA == 0 {
+		if deferReclaim {
+			c.park(a)
+		} else {
+			c.reclaim(a)
+		}
+	}
+	return nil
+}
+
+// CloneRoot increments a RootRef's thread-local count (cloning a CXLRef in
+// the same thread, §5.2): no atomic instruction, no flush, no era
+// transaction — the slot is single-writer.
+func (c *Client) CloneRoot(root layout.Addr) {
+	inUse, cnt := layout.UnpackRootRef(c.h.Load(root))
+	if !inUse {
+		panic("shm: CloneRoot on a free RootRef slot")
+	}
+	c.h.Store(root, layout.PackRootRef(true, cnt+1))
+}
+
+// ReleaseRoot decrements a RootRef's thread-local count; when it reaches
+// zero the RootRef's counted reference on the object is released via the
+// era transaction and the slot is freed. Reports whether the underlying
+// object was freed.
+func (c *Client) ReleaseRoot(root layout.Addr) (objectFreed bool, err error) {
+	inUse, cnt := layout.UnpackRootRef(c.h.Load(root))
+	if !inUse || cnt == 0 {
+		return false, ErrStaleReference
+	}
+	if cnt > 1 {
+		c.h.Store(root, layout.PackRootRef(true, cnt-1))
+		return false, nil
+	}
+	target := c.h.Load(root + layout.RootRefPptrOff)
+	if target != 0 {
+		objectFreed, err = c.ReleaseReference(root+layout.RootRefPptrOff, target)
+		if err != nil {
+			return false, err
+		}
+	}
+	c.freeRootRefSlot(root)
+	return objectFreed, nil
+}
+
+// AttachRoot takes a new counted reference to an existing object: it
+// allocates a RootRef and attaches it with the standard era transaction.
+// This is the core of cxl_receive_from and of any cross-client sharing.
+func (c *Client) AttachRoot(block layout.Addr) (root layout.Addr, err error) {
+	root, err = c.allocRootRef()
+	if err != nil {
+		return 0, err
+	}
+	if err := c.AttachReference(root+layout.RootRefPptrOff, block); err != nil {
+		c.abortRootRef(root)
+		return 0, err
+	}
+	return root, nil
+}
+
+// RootTarget reads the object address a RootRef points to.
+func (c *Client) RootTarget(root layout.Addr) layout.Addr {
+	return c.h.Load(root + layout.RootRefPptrOff)
+}
+
+// --- embedded references (§5.4) ---
+
+// embedAddr returns the address of embedded reference idx of block.
+func (c *Client) embedAddr(block layout.Addr, idx int) (layout.Addr, error) {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	if idx < 0 || idx >= int(m.EmbedCnt) {
+		return 0, ErrBadEmbedIndex
+	}
+	return block + layout.DataOff + layout.Addr(idx), nil
+}
+
+// LoadEmbed reads embedded reference idx of block (0 if unset).
+func (c *Client) LoadEmbed(block layout.Addr, idx int) (layout.Addr, error) {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return 0, err
+	}
+	return c.h.Load(ea), nil
+}
+
+// SetEmbed links embedded reference idx of block to target (must currently
+// be unset; use ChangeEmbed to re-point). Single-writer: only one client may
+// ever modify a given embedded reference.
+func (c *Client) SetEmbed(block layout.Addr, idx int, target layout.Addr) error {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return err
+	}
+	if c.h.Load(ea) != 0 {
+		return ErrBadEmbedIndex
+	}
+	return c.AttachReference(ea, target)
+}
+
+// ClearEmbed unlinks embedded reference idx of block, releasing the target.
+func (c *Client) ClearEmbed(block layout.Addr, idx int) error {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return err
+	}
+	t := c.h.Load(ea)
+	if t == 0 {
+		return nil
+	}
+	_, err = c.ReleaseReference(ea, t)
+	return err
+}
+
+// ChangeEmbed atomically re-points embedded reference idx of block to
+// target (§5.4's change function).
+func (c *Client) ChangeEmbed(block layout.Addr, idx int, target layout.Addr) error {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return err
+	}
+	cur := c.h.Load(ea)
+	if cur == 0 {
+		return c.AttachReference(ea, target)
+	}
+	if cur == target {
+		return nil
+	}
+	return c.ChangeReference(ea, cur, target)
+}

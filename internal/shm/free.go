@@ -1,0 +1,183 @@
+package shm
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+)
+
+// Reclamation (paper §5.3).
+//
+// Reclaiming space is the one non-idempotent step that can follow a
+// release's commit point, so it is never redone. Two disciplines keep it
+// safe across crashes:
+//
+//   - Plain objects (no embedded references) are reclaimed inline, inside
+//     the still-open transaction window: if the client dies mid-reclaim its
+//     redo entry is still valid and recovery marks the containing segment
+//     POTENTIAL_LEAKING instead of redoing the free. The asynchronous
+//     segment-local scan then either observes the free as completed or
+//     completes it.
+//
+//   - Objects with embedded references need a cascade of further release
+//     transactions (each reusing the single redo entry), so the parent's
+//     transaction must close first. Before it closes, the parent's segment
+//     is flagged POTENTIAL_LEAKING; a crash anywhere in the cascade leaves a
+//     refcount-zero block in a flagged segment for the scan to finish
+//     (recovery's DFS of embedded references, §5.4, runs there).
+
+// flagSegmentLeaking sets the sticky POTENTIAL_LEAKING flag on the segment
+// containing addr. Reclaiming a segment (re-claim CAS) clears it by packing
+// a fresh state word.
+func (c *Client) flagSegmentLeaking(addr layout.Addr) {
+	seg := c.geo.SegmentIndexOf(addr)
+	if seg < 0 {
+		return
+	}
+	c.pool.FlagSegmentLeaking(seg)
+	c.hit(faultinject.AfterLeakFlag)
+}
+
+// FlagSegmentLeaking sets the POTENTIAL_LEAKING flag on segment seg (also
+// used by the recovery service when replaying a release that hit zero).
+func (p *Pool) FlagSegmentLeaking(seg int) {
+	a := p.geo.SegStateAddr(seg)
+	for {
+		w := p.dev.Load(a)
+		st := layout.UnpackSegState(w)
+		if st.Flags&layout.SegFlagPotentialLeaking != 0 {
+			return
+		}
+		st.Flags |= layout.SegFlagPotentialLeaking
+		if p.dev.CAS(a, w, layout.PackSegState(st)) {
+			return
+		}
+	}
+}
+
+// reclaim frees a refcount-zero object whose transaction already closed
+// (embed-carrying or change-path objects). The segment is already flagged.
+func (c *Client) reclaim(block layout.Addr) {
+	c.cascadeFree(block)
+}
+
+// cascadeFree releases all embedded references reachable from start
+// (iteratively — recovery must handle arbitrarily deep structures without
+// growing the Go stack) and frees every object whose count reaches zero.
+func (c *Client) cascadeFree(start layout.Addr) {
+	stack := []layout.Addr{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := layout.UnpackMeta(c.h.Load(b + layout.MetaOff))
+		for i := 0; i < int(m.EmbedCnt); i++ {
+			ea := b + layout.DataOff + layout.Addr(i)
+			t := c.h.Load(ea)
+			if t == 0 {
+				continue
+			}
+			_, pending, err := c.releaseTxn(ea, t)
+			c.hit(faultinject.MidCascade)
+			if err != nil {
+				continue // stale/fenced: leave for the scan
+			}
+			if pending {
+				// Embed-carrying child hit zero: releaseTxn flagged its
+				// segment; finish its cascade from the explicit stack. Plain
+				// children were inline-reclaimed by releaseTxn itself.
+				stack = append(stack, t)
+			}
+		}
+		c.reclaimRaw(b)
+	}
+}
+
+// reclaimRaw frees one block whose reference count is zero and whose
+// embedded references (if any) have been released. It marks the block free
+// — recording the freeing client's ID in the meta word's embed field — and
+// pushes it to the page free list (owner) or the segment's client_free list
+// (cross-client deferred free, paper Figure 3).
+//
+// Order matters: header zero, meta free-mark, then push. A crash between
+// mark and push leaves a "lost" free block; the segment-local scan re-pushes
+// it only once the recorded freeer is dead — at which point the freeer is
+// RAS-fenced, so its own late push can never land and double-insert the
+// block.
+func (c *Client) reclaimRaw(block layout.Addr) {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	if m.Flags&layout.MetaHuge != 0 {
+		c.freeHuge(block, m)
+		return
+	}
+	seg := c.geo.SegmentIndexOf(block)
+	if seg < 0 {
+		return
+	}
+	c.h.Store(block+layout.HeaderOff, 0)
+	c.h.Store(block+layout.MetaOff, layout.PackMeta(layout.Meta{
+		Flags: 0, EmbedCnt: uint16(c.cid), BlockWords: m.BlockWords,
+	}))
+	c.hit(faultinject.AfterMetaFree)
+
+	st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
+	if int(st.CID) == c.cid && st.State == layout.SegActive {
+		// Owner-local free.
+		pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, block)}
+		meta := c.pageMetaAddr(pr)
+		c.h.Store(block+freeNextOff, c.h.Load(meta+pmFree))
+		c.h.Store(meta+pmFree, block)
+		info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+		if info.Used > 0 {
+			info.Used--
+		}
+		c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+		if info.Kind == layout.PageKindNormal {
+			c.readdClassPage(int(info.SizeClass), pr)
+		}
+	} else {
+		// Cross-client deferred free: push onto the segment's client_free
+		// list; the owner collects in its slow path.
+		cf := c.geo.SegClientFreeAddr(seg)
+		for {
+			old := c.h.Load(cf)
+			c.h.Store(block+freeNextOff, old)
+			if c.h.CAS(cf, old, block) {
+				break
+			}
+			if c.h.Fenced() {
+				return
+			}
+		}
+	}
+	c.hit(faultinject.AfterFreePush)
+}
+
+// freeHuge returns a huge object's segments to the free pool: bodies from
+// last to first, the head last, so a partial free is re-runnable — the head
+// segment's survival marks the free as incomplete, and already-freed (or
+// re-claimed) segments are recognized by their changed state/cid and
+// skipped.
+func (c *Client) freeHuge(block layout.Addr, m layout.Meta) {
+	head := c.geo.SegmentIndexOf(block)
+	if head < 0 {
+		return
+	}
+	headSt := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(head)))
+	if headSt.State != layout.SegHugeHead {
+		return // already freed (idempotent re-run)
+	}
+	owner := headSt.CID
+	k := int((m.BlockWords + c.geo.SegmentWords - 1) / c.geo.SegmentWords)
+	// Erase the object identity before releasing memory.
+	c.h.Store(block+layout.HeaderOff, 0)
+	c.h.Store(block+layout.MetaOff, 0)
+	for j := k - 1; j >= 1; j-- {
+		a := c.geo.SegStateAddr(head + j)
+		st := layout.UnpackSegState(c.h.Load(a))
+		if st.CID == owner && st.State == layout.SegHugeBody {
+			c.h.Store(a, layout.PackSegState(layout.SegState{
+				Version: st.Version + 1, State: layout.SegFree,
+			}))
+		}
+	}
+	c.releaseSegment(head)
+}

@@ -1,0 +1,185 @@
+package shm
+
+import "repro/internal/layout"
+
+// Hazard-era based deferred reclamation (paper §5.4).
+//
+// When readers traverse a linked structure concurrently with its single
+// writer, freeing an unlinked node immediately invites the classical ABA /
+// use-after-free problem. The paper notes this "can be solved with a
+// standard Hazard era based reclamation, because the era is already
+// maintained by our era based reference count algorithm". This file is that
+// extension:
+//
+//   - a global reclamation era lives at a well-known pool word;
+//   - readers publish the era they entered at (in their ClientLocalState's
+//     hazard word) while traversing, and clear it when done;
+//   - writers Retire instead of releasing: the unlink transaction commits
+//     normally, but a node whose count hit zero is parked on the writer's
+//     retire list, stamped with the current global era;
+//   - ReclaimRetired frees parked nodes whose retire era is below every
+//     *live* client's published hazard era — a dead reader cannot block
+//     reclamation forever because liveness comes from the client status
+//     word, which the monitor maintains (this is where the paper's failure
+//     model meets the reclamation scheme).
+//
+// Crash safety needs no new machinery: a retired-but-unfreed node is a
+// refcount-zero block in a POTENTIAL_LEAKING-flagged segment (the unlink
+// transaction flags it), exactly the state the segment-local scan already
+// reclaims once the retiring writer is dead.
+
+// globalEraAddr is the pool word holding the global reclamation era
+// (reserved word 7 of the pool header; initialized to 1 by format so the
+// zero hazard word can mean "not reading").
+const globalEraAddr = layout.Addr(7)
+
+// hazardOff is the ClientLocalState word holding the client's published
+// hazard era (the reserved slot).
+const hazardOff = layout.ClientOffReserved
+
+// retired is one parked node.
+type retired struct {
+	block layout.Addr
+	era   uint64
+}
+
+// GlobalEra reads the global reclamation era.
+func (p *Pool) GlobalEra() uint64 { return p.dev.Load(globalEraAddr) }
+
+// EnterRead publishes the reader's hazard era and returns it. Pair with
+// ExitRead. Nesting is not supported (one traversal at a time per client,
+// consistent with the single-client-per-thread model).
+func (c *Client) EnterRead() uint64 {
+	my := c.geo.ClientStateBase(c.cid) + hazardOff
+	for {
+		e := c.h.Load(globalEraAddr)
+		c.h.Store(my, e)
+		// Re-check: if the era advanced between load and publish, a writer
+		// may have missed our announcement; re-publish at the newer era.
+		if c.h.Load(globalEraAddr) == e {
+			return e
+		}
+	}
+}
+
+// ExitRead clears the published hazard era.
+func (c *Client) ExitRead() {
+	c.h.Store(c.geo.ClientStateBase(c.cid)+hazardOff, 0)
+}
+
+// RetireEmbed unlinks embedded reference idx of block like ClearEmbed, but
+// defers the reclamation of the target if its count reaches zero: the node
+// stays allocated (readers mid-traversal can still follow its pointers)
+// until ReclaimRetired proves no reader can hold it.
+func (c *Client) RetireEmbed(block layout.Addr, idx int) error {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return err
+	}
+	t := c.h.Load(ea)
+	if t == 0 {
+		return nil
+	}
+	return c.retireRef(ea, t)
+}
+
+// ChangeEmbedRetire atomically re-points embedded reference idx to target
+// (like ChangeEmbed) but defers reclamation of the old node.
+func (c *Client) ChangeEmbedRetire(block layout.Addr, idx int, target layout.Addr) error {
+	ea, err := c.embedAddr(block, idx)
+	if err != nil {
+		return err
+	}
+	cur := c.h.Load(ea)
+	if cur == 0 {
+		return c.AttachReference(ea, target)
+	}
+	if cur == target {
+		return nil
+	}
+	// Phase the change manually: attach target first (the caller holds a
+	// counted reference to it, so this is safe), then retire the old node.
+	// Readers racing the swap see either the old or the new node, both
+	// alive. This trades the §5.4 change function's single-transaction
+	// recovery story for reader safety; the two unlink/link transactions
+	// are individually crash-safe.
+	if err := c.ChangeReferenceDeferred(ea, cur, target); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ChangeReferenceDeferred is ChangeReference with deferred reclamation of
+// the decremented object.
+func (c *Client) ChangeReferenceDeferred(ref, a, b layout.Addr) error {
+	if err := c.changeTxn(ref, a, b, true); err != nil {
+		return err
+	}
+	return nil
+}
+
+// retireRef runs the release transaction on (ref, target); if the count
+// reaches zero the node is parked instead of reclaimed.
+func (c *Client) retireRef(ref, t layout.Addr) error {
+	newCnt, pending, err := c.releaseRetire(ref, t)
+	if err != nil {
+		return err
+	}
+	if newCnt == 0 || pending {
+		c.park(t)
+	}
+	return nil
+}
+
+// park stamps the node with the current global era, advances the era, and
+// queues the node for deferred reclamation.
+func (c *Client) park(block layout.Addr) {
+	e := c.h.Load(globalEraAddr)
+	c.retiredList = append(c.retiredList, retired{block: block, era: e})
+	// Advance the global era so future readers are distinguishable from
+	// those that may still hold the node.
+	c.h.CAS(globalEraAddr, e, e+1) // a lost race means someone else advanced: fine
+}
+
+// RetiredCount reports how many nodes are parked.
+func (c *Client) RetiredCount() int { return len(c.retiredList) }
+
+// ReclaimRetired frees every parked node whose retire era is strictly below
+// the minimum hazard era published by any live client, cascading embedded
+// references as usual. Returns how many nodes were freed.
+func (c *Client) ReclaimRetired() int {
+	if len(c.retiredList) == 0 {
+		return 0
+	}
+	min := c.minLiveHazard()
+	freed := 0
+	kept := c.retiredList[:0]
+	for _, r := range c.retiredList {
+		if r.era < min {
+			c.cascadeFree(r.block)
+			freed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	c.retiredList = kept
+	return freed
+}
+
+// minLiveHazard computes the smallest hazard era published by a live
+// client, or the current global era + 1 if no one is reading. Dead clients'
+// stale hazards are ignored — their liveness gate is the status word the
+// monitor maintains, so a crashed reader cannot block reclamation.
+func (c *Client) minLiveHazard() uint64 {
+	min := c.h.Load(globalEraAddr) + 1
+	for cid := 1; cid <= c.geo.MaxClients; cid++ {
+		if c.pool.ClientStatus(cid) != layout.ClientAlive {
+			continue
+		}
+		h := c.h.Load(c.geo.ClientStateBase(cid) + hazardOff)
+		if h != 0 && h < min {
+			min = h
+		}
+	}
+	return min
+}

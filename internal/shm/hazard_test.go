@@ -1,0 +1,228 @@
+package shm_test
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// recoverAll recovers the given dead clients and runs background
+// maintenance until abandoned segments drain.
+func recoverAll(t *testing.T, p *shm.Pool, cids ...int) {
+	t.Helper()
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cid := range cids {
+		if _, err := svc.RecoverClient(cid); err != nil {
+			t.Fatalf("recover %d: %v", cid, err)
+		}
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 4; i++ {
+		mon.Tick()
+	}
+}
+
+// buildList creates head -> n1 -> n2 (each node: 1 embed + payload) and
+// returns the head's root plus the node addresses. Only the head is
+// directly rooted; n1 and n2 live via the chain.
+func buildList(t *testing.T, c *shm.Client) (headRoot, head, n1, n2 layout.Addr) {
+	t.Helper()
+	r2, n2, err := c.Malloc(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, n1, err := c.Malloc(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headRoot, head, err = c.Malloc(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetEmbed(n1, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetEmbed(head, 0, n1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(r2); err != nil {
+		t.Fatal(err)
+	}
+	return headRoot, head, n1, n2
+}
+
+func TestRetireDefersReclamationWhileReaderActive(t *testing.T) {
+	p := newTestPool(t)
+	w := connect(t, p) // the single writer
+	r := connect(t, p) // a concurrent reader
+
+	headRoot, head, n1, n2 := buildList(t, w)
+
+	// The reader announces a traversal.
+	era := r.EnterRead()
+	if era == 0 {
+		t.Fatal("EnterRead returned era 0")
+	}
+
+	// The writer unlinks n1 (re-points head's next to n2) with deferred
+	// reclamation: n1's count drops to zero but its memory must survive —
+	// the reader may be standing on it.
+	if err := w.ChangeEmbedRetire(head, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.RetiredCount(); got != 1 {
+		t.Fatalf("retired count = %d, want 1", got)
+	}
+	if hdr := w.HeaderOf(n1); hdr.RefCnt != 0 {
+		t.Fatalf("n1 ref_cnt = %d, want 0 (unlinked)", hdr.RefCnt)
+	}
+	if !w.MetaOf(n1).Allocated() {
+		t.Fatal("n1 was freed while a reader was active")
+	}
+	// The retired node's own links are intact: a reader standing on n1 can
+	// still reach n2.
+	if next, _ := w.LoadEmbed(n1, 0); next != n2 {
+		t.Fatalf("retired node's next = %#x, want %#x", next, n2)
+	}
+
+	// Reclamation must refuse while the reader's hazard era is published.
+	if freed := w.ReclaimRetired(); freed != 0 {
+		t.Fatalf("reclaimed %d nodes under an active reader", freed)
+	}
+	if !w.MetaOf(n1).Allocated() {
+		t.Fatal("n1 freed despite active hazard")
+	}
+
+	// Reader leaves; now the node is reclaimable (and its reference to n2
+	// is cascaded properly).
+	r.ExitRead()
+	if freed := w.ReclaimRetired(); freed != 1 {
+		t.Fatalf("reclaimed %d nodes after reader exit, want 1", freed)
+	}
+	if w.MetaOf(n1).Allocated() {
+		t.Fatal("n1 still allocated after reclamation")
+	}
+	if hdr := w.HeaderOf(n2); hdr.RefCnt != 1 {
+		t.Fatalf("n2 ref_cnt = %d after cascade, want 1 (head only)", hdr.RefCnt)
+	}
+
+	if _, err := w.ReleaseRoot(headRoot); err != nil {
+		t.Fatal(err)
+	}
+	res := mustValidate(t, p)
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked", res.AllocatedObjects)
+	}
+}
+
+func TestDeadReaderDoesNotBlockReclamation(t *testing.T) {
+	p := newTestPool(t)
+	w := connect(t, p)
+	r := connect(t, p)
+
+	headRoot, head, _, n2 := buildList(t, w)
+	r.EnterRead() // reader publishes a hazard era...
+	if err := w.ChangeEmbedRetire(head, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+	if freed := w.ReclaimRetired(); freed != 0 {
+		t.Fatal("reclaimed under a live reader")
+	}
+	// ...and then dies without ever calling ExitRead.
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// Liveness comes from the client status word, so the stale hazard no
+	// longer gates reclamation.
+	if freed := w.ReclaimRetired(); freed != 1 {
+		t.Fatalf("dead reader blocked reclamation (freed=%d)", freed)
+	}
+	if _, err := w.ReleaseRoot(headRoot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireEmbedTailUnlink(t *testing.T) {
+	p := newTestPool(t)
+	w := connect(t, p)
+	headRoot, head, n1, n2 := buildList(t, w)
+
+	// Unlink the tail (n2) from n1 with deferred reclamation; no reader is
+	// active, so reclamation succeeds immediately afterwards.
+	if err := w.RetireEmbed(n1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.LoadEmbed(n1, 0); got != 0 {
+		t.Fatalf("n1.next = %#x after retire, want 0", got)
+	}
+	if w.RetiredCount() != 1 {
+		t.Fatalf("retired=%d", w.RetiredCount())
+	}
+	if freed := w.ReclaimRetired(); freed != 1 {
+		t.Fatalf("freed=%d", freed)
+	}
+	if w.MetaOf(n2).Allocated() {
+		t.Fatal("n2 not reclaimed")
+	}
+	_ = head
+	if _, err := w.ReleaseRoot(headRoot); err != nil {
+		t.Fatal(err)
+	}
+	res := mustValidate(t, p)
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d leaked", res.AllocatedObjects)
+	}
+}
+
+func TestCrashWithParkedNodesIsRecovered(t *testing.T) {
+	p := newTestPool(t)
+	w := connect(t, p)
+	r := connect(t, p)
+	headRoot, head, _, n2 := buildList(t, w)
+	_ = headRoot
+	r.EnterRead()
+	if err := w.ChangeEmbedRetire(head, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+	// The writer dies with a node parked on its (volatile) retire list; the
+	// reader also exits. The parked node is a refcount-zero block in a
+	// flagged segment — exactly what the segment scan reclaims.
+	if err := w.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r.ExitRead()
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery + maintenance must converge to an empty pool.
+	recoverAll(t, p, w.ID(), r.ID())
+	res := mustValidate(t, p)
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("parked node leaked: %d objects", res.AllocatedObjects)
+	}
+}
+
+func TestGlobalEraAdvancesOnRetire(t *testing.T) {
+	p := newTestPool(t)
+	w := connect(t, p)
+	e0 := p.GlobalEra()
+	headRoot, head, _, n2 := buildList(t, w)
+	if err := w.ChangeEmbedRetire(head, 0, n2); err != nil {
+		t.Fatal(err)
+	}
+	if p.GlobalEra() <= e0 {
+		t.Fatalf("global era %d did not advance past %d", p.GlobalEra(), e0)
+	}
+	w.ReclaimRetired()
+	if _, err := w.ReleaseRoot(headRoot); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package shm
+
+import (
+	"fmt"
+
+	"repro/internal/cxl"
+	"repro/internal/layout"
+)
+
+// Config configures a Pool.
+type Config struct {
+	// Geometry selects pool dimensions; zero fields take defaults.
+	Geometry layout.GeometryConfig
+	// Latency optionally enables the device latency model.
+	Latency cxl.Latency
+}
+
+// Pool is a formatted CXL-SHM shared memory pool: the device plus its
+// geometry. Clients Connect to a Pool; the recovery service operates on it
+// directly.
+type Pool struct {
+	dev *cxl.Device
+	geo *layout.Geometry
+}
+
+// NewPool creates and formats a shared pool.
+func NewPool(cfg Config) (*Pool, error) {
+	geo, err := layout.NewGeometry(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := cxl.NewDevice(cxl.Config{
+		Words:      int(geo.TotalWords),
+		MaxClients: geo.MaxClients + 1, // +1: the recovery service connects as a client too
+		Latency:    cfg.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{dev: dev, geo: geo}
+	p.format()
+	return p, nil
+}
+
+// format writes the pool magic and geometry summary. Freshly created device
+// words are zero, which is exactly the initial state everything else needs:
+// segment entries read as {cid 0, version 0, SegFree}, client slots as
+// ClientSlotFree, queue registry as empty.
+func (p *Pool) format() {
+	d := p.dev
+	d.Store(1, layout.PoolMagic)
+	d.Store(2, p.geo.SegmentWords)
+	d.Store(3, p.geo.PageWords)
+	d.Store(4, uint64(p.geo.NumSegments))
+	d.Store(5, uint64(p.geo.MaxClients))
+	d.Store(6, uint64(p.geo.MaxQueues))
+	// Global reclamation era for hazard-era deferred reclamation: starts at
+	// 1 so a zero hazard word always means "not reading".
+	d.Store(7, 1)
+}
+
+// Snapshot captures the pool contents for later AttachSnapshot — the
+// "everything survives because the device has its own power supply" story
+// of the paper's Figure 1. Take it at a quiescent moment.
+func (p *Pool) Snapshot() []uint64 { return p.dev.Snapshot() }
+
+// AttachSnapshot reconstructs a Pool around a previously snapshotted device
+// image. Clients recorded as alive in the image are from a previous
+// incarnation (their processes are gone); list them with StaleClients and
+// hand each to the recovery service before resuming normal operation.
+func AttachSnapshot(snapshot []uint64) (*Pool, error) {
+	// Rebuild geometry from the formatted header words.
+	if len(snapshot) < 8 || snapshot[1] != layout.PoolMagic {
+		return nil, fmt.Errorf("shm: snapshot is not a formatted CXL-SHM pool")
+	}
+	geo, err := layout.NewGeometry(layout.GeometryConfig{
+		SegmentWords: snapshot[2],
+		PageWords:    snapshot[3],
+		NumSegments:  int(snapshot[4]),
+		MaxClients:   int(snapshot[5]),
+		MaxQueues:    int(snapshot[6]),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if geo.TotalWords != uint64(len(snapshot)) {
+		return nil, fmt.Errorf("shm: snapshot has %d words, geometry computes %d",
+			len(snapshot), geo.TotalWords)
+	}
+	dev, err := cxl.RestoreDevice(cxl.Config{MaxClients: geo.MaxClients + 1}, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{dev: dev, geo: geo}, nil
+}
+
+// StaleClients lists client slots whose previous incarnation never exited
+// cleanly (status alive or dead in the attached image). Recover each before
+// connecting new clients.
+func (p *Pool) StaleClients() []int {
+	var out []int
+	for cid := 1; cid <= p.geo.MaxClients; cid++ {
+		s := p.ClientStatus(cid)
+		if s == layout.ClientAlive || s == layout.ClientDead {
+			out = append(out, cid)
+		}
+	}
+	return out
+}
+
+// Device exposes the underlying device (recovery, validation, benchmarks).
+func (p *Pool) Device() *cxl.Device { return p.dev }
+
+// Geometry exposes the pool geometry.
+func (p *Pool) Geometry() *layout.Geometry { return p.geo }
+
+// SegState reads segment i's state word.
+func (p *Pool) SegState(i int) layout.SegState {
+	return layout.UnpackSegState(p.dev.Load(p.geo.SegStateAddr(i)))
+}
+
+// ClientStatus reads client cid's status word.
+func (p *Pool) ClientStatus(cid int) uint64 {
+	return p.dev.Load(p.geo.ClientStatusAddr(cid))
+}
+
+// MarkClientDead transitions cid from Alive to Dead (the monitor calls this
+// when heartbeats stop; tests call it to simulate a detected failure). It
+// also RAS-fences the client so no in-flight write can land after recovery
+// starts (§3.2).
+func (p *Pool) MarkClientDead(cid int) error {
+	if cid < 1 || cid > p.geo.MaxClients {
+		return fmt.Errorf("shm: client id %d out of range", cid)
+	}
+	a := p.geo.ClientStatusAddr(cid)
+	for {
+		cur := p.dev.Load(a)
+		if cur != layout.ClientAlive && cur != layout.ClientDead {
+			return fmt.Errorf("shm: client %d not alive (status %d)", cid, cur)
+		}
+		if cur == layout.ClientDead || p.dev.CAS(a, cur, layout.ClientDead) {
+			break
+		}
+	}
+	p.dev.FenceClient(cid)
+	return nil
+}
+
+// Usage is a cheap occupancy snapshot (segment-vector walk; no page scans).
+type Usage struct {
+	SegmentsFree      int
+	SegmentsActive    int
+	SegmentsAbandoned int
+	SegmentsHuge      int
+	ClientsAlive      int
+	TotalBytes        int
+}
+
+// Usage summarizes pool occupancy.
+func (p *Pool) Usage() Usage {
+	var u Usage
+	for i := 0; i < p.geo.NumSegments; i++ {
+		switch p.SegState(i).State {
+		case layout.SegFree:
+			u.SegmentsFree++
+		case layout.SegActive:
+			u.SegmentsActive++
+		case layout.SegAbandoned:
+			u.SegmentsAbandoned++
+		case layout.SegHugeHead, layout.SegHugeBody:
+			u.SegmentsHuge++
+		}
+	}
+	for cid := 1; cid <= p.geo.MaxClients; cid++ {
+		if p.ClientStatus(cid) == layout.ClientAlive {
+			u.ClientsAlive++
+		}
+	}
+	u.TotalBytes = int(p.geo.TotalWords) * layout.WordBytes
+	return u
+}
+
+// ClientDeadOrRecovered reports whether cid's slot refers to a client that
+// is no longer alive (used by the segment-local scans to decide whether a
+// refcount-zero block can still be mid-release by a live client).
+func (p *Pool) ClientDeadOrRecovered(cid int) bool {
+	if cid < 1 || cid > p.geo.MaxClients {
+		// cid 0 appears in never-initialized headers; treat as dead.
+		return true
+	}
+	s := p.ClientStatus(cid)
+	return s == layout.ClientDead || s == layout.ClientRecovered || s == layout.ClientSlotFree
+}

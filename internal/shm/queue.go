@@ -1,0 +1,228 @@
+package shm
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+)
+
+// Reference transfer over shared single-producer-single-consumer queues
+// (paper §5.2, Figure 5).
+//
+// A queue is an ordinary CXLObj whose embedded references are its slots, so
+// in-flight references are owned by the queue object itself: if sender,
+// receiver, or both die, the queue's reference count eventually reaches zero
+// and the standard embedded-reference cascade releases every in-flight
+// reference — no ambiguity about the ownership of a reference "on the wire".
+// Ownership of a sent reference transfers atomically at the store that
+// advances the tail offset.
+//
+// Queue object data layout (embedded slots must come first, §5.4):
+//
+//	data[0 .. cap-1]  slots (embedded references)
+//	data[cap+0]       info: sender cid | receiver cid << 16 | registry idx << 32
+//	data[cap+1]       head (absolute receive counter)
+//	data[cap+2]       tail (absolute send counter)
+//
+// Queues are registered in the pool's queue registry so the recovery
+// service and late-joining receivers can discover them.
+
+// queue data-area offsets relative to the block address.
+func queueSlot(block layout.Addr, capacity int, i uint64) layout.Addr {
+	return block + layout.DataOff + layout.Addr(i%uint64(capacity))
+}
+func queueInfoAddr(block layout.Addr, capacity int) layout.Addr {
+	return block + layout.DataOff + layout.Addr(capacity)
+}
+func queueHeadAddr(block layout.Addr, capacity int) layout.Addr {
+	return block + layout.DataOff + layout.Addr(capacity) + 1
+}
+func queueTailAddr(block layout.Addr, capacity int) layout.Addr {
+	return block + layout.DataOff + layout.Addr(capacity) + 2
+}
+
+// QueueInfo describes a transfer queue's endpoints.
+type QueueInfo struct {
+	Sender   int
+	Receiver int
+	RegIdx   int
+	Capacity int
+}
+
+func packQueueInfo(sender, receiver, reg int) uint64 {
+	return uint64(uint16(sender)) | uint64(uint16(receiver))<<16 | uint64(uint32(reg))<<32
+}
+
+func unpackQueueInfo(w uint64) (sender, receiver, reg int) {
+	return int(uint16(w)), int(uint16(w >> 16)), int(uint32(w >> 32))
+}
+
+// CreateQueue allocates and registers a transfer queue from this client to
+// receiverCID. It returns the sender's RootRef for the queue object and the
+// queue block address (which the receiver needs; discoverable through the
+// registry as well).
+func (c *Client) CreateQueue(receiverCID, capacity int) (root, block layout.Addr, err error) {
+	return c.CreateQueueBetween(c.cid, receiverCID, capacity)
+}
+
+// CreateQueueBetween allocates and registers a transfer queue between two
+// other clients (e.g. a coordinator wiring up its workers). The creator
+// holds the returned RootRef and thereby owns the queue's lifetime; the
+// endpoints typically OpenQueue their own references on top.
+func (c *Client) CreateQueueBetween(senderCID, receiverCID, capacity int) (root, block layout.Addr, err error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	dataBytes := (capacity + 3) * layout.WordBytes
+	root, block, err = c.Malloc(dataBytes, capacity)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Mark the block as a queue before registering it: the registry sweep
+	// clears entries pointing at non-queue blocks, so the other order would
+	// race with the monitor.
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	m.Flags |= layout.MetaQueue
+	c.h.Store(block+layout.MetaOff, layout.PackMeta(m))
+
+	reg := -1
+	for i := 0; i < c.geo.MaxQueues; i++ {
+		a := c.geo.QueueRegAddr(i)
+		if c.h.Load(a) == 0 && c.h.CAS(a, 0, block) {
+			reg = i
+			break
+		}
+	}
+	if reg < 0 {
+		if _, rerr := c.ReleaseRoot(root); rerr != nil {
+			return 0, 0, rerr
+		}
+		return 0, 0, ErrNoQueueSlot
+	}
+	c.h.Store(queueInfoAddr(block, capacity), packQueueInfo(senderCID, receiverCID, reg))
+	c.h.Store(queueHeadAddr(block, capacity), 0)
+	c.h.Store(queueTailAddr(block, capacity), 0)
+	return root, block, nil
+}
+
+// QueueInfoOf reads a queue block's endpoints and capacity.
+func (c *Client) QueueInfoOf(block layout.Addr) QueueInfo {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	capacity := int(m.EmbedCnt)
+	s, r, reg := unpackQueueInfo(c.h.Load(queueInfoAddr(block, capacity)))
+	return QueueInfo{Sender: s, Receiver: r, RegIdx: reg, Capacity: capacity}
+}
+
+// FindQueueFrom scans the registry for a queue whose sender is senderCID and
+// whose receiver is this client. Returns the block address or 0.
+func (c *Client) FindQueueFrom(senderCID int) layout.Addr {
+	for i := 0; i < c.geo.MaxQueues; i++ {
+		block := c.h.Load(c.geo.QueueRegAddr(i))
+		if block == 0 {
+			continue
+		}
+		m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+		if !m.Allocated() || m.Flags&layout.MetaQueue == 0 {
+			continue
+		}
+		qi := c.QueueInfoOf(block)
+		if qi.Sender == senderCID && qi.Receiver == c.cid {
+			return block
+		}
+	}
+	return 0
+}
+
+// OpenQueue attaches this client's own counted reference (RootRef) to an
+// existing queue block, so the queue object outlives either endpoint alone.
+// Receivers must call this before their first Receive.
+func (c *Client) OpenQueue(block layout.Addr) (root layout.Addr, err error) {
+	return c.AttachRoot(block)
+}
+
+// Send transfers a counted reference to target through the queue (paper
+// cxl_send_to): attach the queue slot to the object with the standard era
+// transaction — incrementing its count — then advance the tail, which is the
+// atomic ownership-transfer point.
+func (c *Client) Send(block layout.Addr, target layout.Addr) error {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	capacity := int(m.EmbedCnt)
+	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
+	head, tail := c.h.Load(headA), c.h.Load(tailA)
+	if tail-head >= uint64(capacity) {
+		return ErrQueueFull
+	}
+	slot := queueSlot(block, capacity, tail)
+	if err := c.AttachReference(slot, target); err != nil {
+		return err
+	}
+	c.hit(faultinject.AfterSendAttach)
+	c.h.Store(tailA, tail+1)
+	return nil
+}
+
+// Receive takes the next reference from the queue (paper cxl_receive_from):
+// attach a fresh RootRef to the object, release the queue slot's reference,
+// advance the head. Returns the receiver's new RootRef and the object
+// address, or ErrQueueEmpty.
+func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error) {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	capacity := int(m.EmbedCnt)
+	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
+	head, tail := c.h.Load(headA), c.h.Load(tailA)
+	if head == tail {
+		return 0, 0, ErrQueueEmpty
+	}
+	slot := queueSlot(block, capacity, head)
+	target = c.h.Load(slot)
+	if target == 0 {
+		// The slot was already released (we died after releasing but before
+		// advancing the head last time, and recovery replayed): just advance.
+		c.h.Store(headA, head+1)
+		return 0, 0, ErrQueueEmpty
+	}
+	root, err = c.allocRootRef()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.AttachReference(root+layout.RootRefPptrOff, target); err != nil {
+		c.abortRootRef(root)
+		return 0, 0, err
+	}
+	c.hit(faultinject.AfterReceiveAttach)
+	if _, _, err := c.releaseTxn(slot, target); err != nil {
+		return 0, 0, err
+	}
+	c.hit(faultinject.AfterReceiveRelease)
+	c.h.Store(headA, head+1)
+	return root, target, nil
+}
+
+// QueueLen reports how many references are in flight in the queue.
+func (c *Client) QueueLen(block layout.Addr) int {
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	capacity := int(m.EmbedCnt)
+	head := c.h.Load(queueHeadAddr(block, capacity))
+	tail := c.h.Load(queueTailAddr(block, capacity))
+	return int(tail - head)
+}
+
+// SweepQueueRegistry clears registry entries whose block is no longer a
+// live queue (freed after both endpoints released it). Run by the monitor.
+func (p *Pool) SweepQueueRegistry() int {
+	cleared := 0
+	for i := 0; i < p.geo.MaxQueues; i++ {
+		a := p.geo.QueueRegAddr(i)
+		block := p.dev.Load(a)
+		if block == 0 {
+			continue
+		}
+		m := layout.UnpackMeta(p.dev.Load(block + layout.MetaOff))
+		if m.Allocated() && m.Flags&layout.MetaQueue != 0 {
+			continue
+		}
+		if p.dev.CAS(a, block, 0) {
+			cleared++
+		}
+	}
+	return cleared
+}

@@ -1,0 +1,94 @@
+package shm
+
+import "repro/internal/layout"
+
+// Redo log (paper §3.3, §4.3). Each client owns a fixed redo area in its
+// ClientLocalState holding at most one in-flight era transaction:
+//
+//	word 0: valid bit (63) | op
+//	word 1: era at log time (== Era[cid][cid] while the txn is open)
+//	word 2: ref   — address of the reference word (ModifyRef target)
+//	word 3: refed — address of the object whose count is modified
+//	                (for change: object A, the one being decremented)
+//	word 4: saved reference count of refed at the last CAS attempt
+//	word 5: refed2 — for change: object B, the one being incremented
+//	word 6: saved reference count of refed2 at the last CAS attempt
+//	word 7: reserved
+//
+// The entry is (re)written before every CAS attempt and cleared right after
+// the era bump that closes the transaction. Only the owning client writes
+// it; the recovery service reads it only after the owner is RAS-fenced.
+
+// Op identifies the kind of an era transaction.
+type Op uint8
+
+// Transaction kinds recorded in the redo log.
+const (
+	OpNone    Op = 0
+	OpAttach  Op = 1
+	OpRelease Op = 2
+	OpChange  Op = 3
+)
+
+const redoValidBit = uint64(1) << 63
+
+// RedoEntry is the decoded form of a client's redo area.
+type RedoEntry struct {
+	Op        Op
+	Era       uint32
+	Ref       layout.Addr
+	Refed     layout.Addr
+	SavedCnt  uint16
+	Refed2    layout.Addr
+	SavedCnt2 uint16
+}
+
+// logRedo records the in-flight transaction (line 8 of Figure 4(c)). Field
+// stores precede the valid-bit store so a torn entry is never observed as
+// valid; all device accesses are sequentially consistent.
+func (c *Client) logRedo(e RedoEntry) {
+	base := c.geo.ClientRedoBase(c.cid)
+	c.h.Store(base+1, uint64(e.Era))
+	c.h.Store(base+2, e.Ref)
+	c.h.Store(base+3, e.Refed)
+	c.h.Store(base+4, uint64(e.SavedCnt))
+	c.h.Store(base+5, e.Refed2)
+	c.h.Store(base+6, uint64(e.SavedCnt2))
+	c.h.Store(base, redoValidBit|uint64(e.Op))
+}
+
+// relogSavedCnt2 refreshes the phase-2 saved count of a change transaction
+// on CAS retry, without touching the rest of the entry.
+func (c *Client) relogSavedCnt2(cnt uint16) {
+	c.h.Store(c.geo.ClientRedoBase(c.cid)+6, uint64(cnt))
+}
+
+// clearRedo invalidates the entry after the closing era bump.
+func (c *Client) clearRedo() {
+	c.h.Store(c.geo.ClientRedoBase(c.cid), 0)
+}
+
+// ReadRedo reads client cid's redo entry. ok is false when no transaction
+// was in flight. Intended for the recovery service (after fencing cid) and
+// for tests.
+func (p *Pool) ReadRedo(cid int) (RedoEntry, bool) {
+	base := p.geo.ClientRedoBase(cid)
+	w0 := p.dev.Load(base)
+	if w0&redoValidBit == 0 {
+		return RedoEntry{}, false
+	}
+	return RedoEntry{
+		Op:        Op(w0 &^ redoValidBit),
+		Era:       uint32(p.dev.Load(base + 1)),
+		Ref:       p.dev.Load(base + 2),
+		Refed:     p.dev.Load(base + 3),
+		SavedCnt:  uint16(p.dev.Load(base + 4)),
+		Refed2:    p.dev.Load(base + 5),
+		SavedCnt2: uint16(p.dev.Load(base + 6)),
+	}, true
+}
+
+// ClearRedo invalidates cid's redo entry (recovery hygiene).
+func (p *Pool) ClearRedo(cid int) {
+	p.dev.Store(p.geo.ClientRedoBase(cid), 0)
+}

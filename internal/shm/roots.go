@@ -1,0 +1,67 @@
+package shm
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Named roots (paper §6.4): well-known counted reference slots that keep
+// objects alive independent of any client's lifetime — the equivalent of a
+// pmem allocator's root objects. A named root holds one counted reference;
+// it survives the publisher's death (deliberately: that is its purpose) and
+// is dropped only by an explicit UnpublishRoot.
+//
+// Slots follow the single-writer rule: coordinate ownership of a slot index
+// at the application level (e.g. the KV store's creator publishes slot 0).
+
+// PublishRoot attaches named-root slot i to block. The slot must be empty.
+func (c *Client) PublishRoot(i int, block layout.Addr) error {
+	if i < 0 || i >= layout.MaxNamedRoots {
+		return fmt.Errorf("shm: named root index %d out of range", i)
+	}
+	slot := c.geo.RootDirAddr(i)
+	if c.h.Load(slot) != 0 {
+		return fmt.Errorf("shm: named root %d already published", i)
+	}
+	return c.AttachReference(slot, block)
+}
+
+// NamedRoot reads named-root slot i (0 if empty).
+func (c *Client) NamedRoot(i int) (layout.Addr, error) {
+	if i < 0 || i >= layout.MaxNamedRoots {
+		return 0, fmt.Errorf("shm: named root index %d out of range", i)
+	}
+	return c.h.Load(c.geo.RootDirAddr(i)), nil
+}
+
+// OpenRoot takes the caller's own counted reference to the object published
+// at named-root slot i.
+func (c *Client) OpenRoot(i int) (root, block layout.Addr, err error) {
+	block, err = c.NamedRoot(i)
+	if err != nil {
+		return 0, 0, err
+	}
+	if block == 0 {
+		return 0, 0, fmt.Errorf("shm: named root %d is empty", i)
+	}
+	root, err = c.AttachRoot(block)
+	if err != nil {
+		return 0, 0, err
+	}
+	return root, block, nil
+}
+
+// UnpublishRoot releases the reference held by named-root slot i.
+func (c *Client) UnpublishRoot(i int) error {
+	if i < 0 || i >= layout.MaxNamedRoots {
+		return fmt.Errorf("shm: named root index %d out of range", i)
+	}
+	slot := c.geo.RootDirAddr(i)
+	t := c.h.Load(slot)
+	if t == 0 {
+		return nil
+	}
+	_, err := c.ReleaseReference(slot, t)
+	return err
+}

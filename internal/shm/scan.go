@@ -1,0 +1,316 @@
+package shm
+
+import "repro/internal/layout"
+
+// The asynchronous segment-local scan (paper §5.3).
+//
+// A segment needs a scan when a client died between two specific
+// instructions of the reclamation path. The scan walks one segment's pages
+// — never the whole pool — and:
+//
+//   - reclaims "leaked" blocks: allocated, reference count zero, last
+//     touched (lcid) by a client that is no longer alive — completing the
+//     interrupted reclamation, including the DFS release of any embedded
+//     references the dead client hadn't released yet (§5.4);
+//   - re-inserts "lost" free blocks: marked free but on no free list,
+//     where the recorded freeer is dead (its RAS fence guarantees its own
+//     pending push can never land);
+//   - sweeps leftover in_use RootRef slots of dead owners;
+//   - reports whether the segment is quiet (no live or pending block), at
+//     which point an abandoned segment is returned to the free pool.
+//
+// Concurrency contract: a segment is scanned either by its live owner (its
+// own slow path) or — for segments whose owner is dead — by the single
+// recovery/monitor goroutine. Those sets are disjoint, so scans of one
+// segment never race.
+
+// ScanReport summarizes one segment-local scan.
+type ScanReport struct {
+	// Reclaimed counts leaked blocks whose reclamation the scan completed.
+	Reclaimed int
+	// Relinked counts lost free blocks re-inserted into a free list.
+	Relinked int
+	// SweptRoots counts dead-owner RootRef slots released.
+	SweptRoots int
+	// Live counts blocks still holding references (or owned by live work).
+	Live int
+	// Pending counts blocks some live client is mid-operation on (they
+	// resolve on their own; rescan later).
+	Pending int
+	// Quiet reports that nothing in the segment is allocated or pending.
+	Quiet bool
+	// Freed reports that the scan returned the segment to the free pool.
+	Freed bool
+	// FlagCleared reports that the POTENTIAL_LEAKING flag was cleared.
+	FlagCleared bool
+}
+
+// ScanSegment runs the segment-local scan of seg, executed by client c.
+// ownerDead must be true when the segment's owner is known dead (abandoned
+// segments, or active segments being recovered); it enables the RootRef
+// sweep and segment reclamation.
+//
+// The scan runs in rounds: reclaiming a leaked block cascades frees that
+// may land on this segment's lists after the membership snapshot, so lost
+// free blocks are only re-linked in a round that reclaimed nothing (with a
+// fresh snapshot).
+func (c *Client) ScanSegment(seg int, ownerDead bool) ScanReport {
+	var total ScanReport
+	for {
+		r := c.scanSegmentOnce(seg, ownerDead, false)
+		total.Reclaimed += r.Reclaimed
+		total.SweptRoots += r.SweptRoots
+		if r.Reclaimed == 0 && r.SweptRoots == 0 {
+			break
+		}
+		if r.Freed {
+			total.Quiet, total.Freed = true, true
+			return total
+		}
+	}
+	r := c.scanSegmentOnce(seg, ownerDead, true)
+	total.Reclaimed += r.Reclaimed
+	total.SweptRoots += r.SweptRoots
+	total.Relinked = r.Relinked
+	total.Live = r.Live
+	total.Pending = r.Pending
+	total.Quiet = r.Quiet
+	total.Freed = r.Freed
+	total.FlagCleared = r.FlagCleared
+	return total
+}
+
+func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
+	var r ScanReport
+	a := c.geo.SegStateAddr(seg)
+	w := c.h.Load(a)
+	st := layout.UnpackSegState(w)
+	switch st.State {
+	case layout.SegHugeHead:
+		hdr := layout.UnpackHeader(c.h.Load(c.geo.SegmentBase(seg) + layout.HeaderOff))
+		if hdr.RefCnt > 0 {
+			r.Live++
+			return r
+		}
+		// Zero refcount: either a completed-then-interrupted free or an
+		// interrupted allocation. Safe to reclaim when the owner is dead
+		// (nobody can be mid-operation) — the scan's caller guarantees that
+		// or is the owner itself.
+		m := layout.UnpackMeta(c.h.Load(c.geo.SegmentBase(seg) + layout.MetaOff))
+		if m.BlockWords == 0 {
+			// Header/meta never initialized (mid-allocation crash): free the
+			// head and let orphan bodies be swept by the caller.
+			c.releaseSegment(seg)
+		} else {
+			c.cascadeFree(c.geo.SegmentBase(seg))
+		}
+		r.Reclaimed++
+		r.Quiet, r.Freed = true, true
+		return r
+	case layout.SegActive, layout.SegAbandoned:
+		// fall through to the page walk
+	default:
+		r.Quiet = true
+		return r
+	}
+
+	numPages := int(c.h.Load(c.geo.SegNextPageAddr(seg)))
+	if numPages > c.geo.PagesPerSegment {
+		numPages = c.geo.PagesPerSegment
+	}
+
+	// Membership pass: every block currently reachable from a free list.
+	onList := make(map[layout.Addr]struct{})
+	for p := 0; p < numPages; p++ {
+		meta := c.geo.PageMetaAddr(seg, p)
+		info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+		nextOff := layout.Addr(freeNextOff)
+		if info.Kind == layout.PageKindRootRef {
+			nextOff = layout.RootRefPptrOff
+		}
+		for b := c.h.Load(meta + pmFree); b != 0; b = c.h.Load(b + nextOff) {
+			onList[b] = struct{}{}
+		}
+	}
+	for b := c.h.Load(c.geo.SegClientFreeAddr(seg)); b != 0; b = c.h.Load(b + freeNextOff) {
+		onList[b] = struct{}{}
+	}
+
+	for p := 0; p < numPages; p++ {
+		metaA := c.geo.PageMetaAddr(seg, p)
+		info := layout.UnpackPageMeta(c.h.Load(metaA + pmInfo))
+		base := c.geo.PageBase(seg, p)
+		scanPos := c.h.Load(metaA + pmScan)
+		end := base + layout.Addr(c.geo.PageWords)
+		if scanPos > end {
+			scanPos = end
+		}
+		switch info.Kind {
+		case layout.PageKindRootRef:
+			for slot := base; slot+layout.RootRefWords <= scanPos; slot += layout.RootRefWords {
+				if _, free := onList[slot]; free {
+					continue
+				}
+				inUse, _ := layout.UnpackRootRef(c.h.Load(slot))
+				if inUse {
+					if ownerDead {
+						if c.SweepRootRefSlot(slot) {
+							r.SweptRoots++
+						}
+					} else {
+						r.Live++
+					}
+					continue
+				}
+				// Lost free slot: cleared but never pushed. Only the owner
+				// loses slots (RootRef frees are owner-local), so a dead
+				// owner's fence makes the re-push safe; a live owner is the
+				// scanner itself.
+				if relink {
+					c.h.Store(slot+layout.RootRefPptrOff, c.h.Load(metaA+pmFree))
+					c.h.Store(metaA+pmFree, slot)
+					onList[slot] = struct{}{}
+					r.Relinked++
+				}
+			}
+		case layout.PageKindNormal:
+			if int(info.SizeClass) >= len(c.geo.Classes) {
+				continue
+			}
+			bw := layout.Addr(c.geo.Classes[info.SizeClass].BlockWords)
+			for b := base; b+bw <= scanPos; b += bw {
+				if _, free := onList[b]; free {
+					continue
+				}
+				m := layout.UnpackMeta(c.h.Load(b + layout.MetaOff))
+				if m.Allocated() {
+					hdr := layout.UnpackHeader(c.h.Load(b + layout.HeaderOff))
+					if hdr.RefCnt > 0 {
+						r.Live++
+						continue
+					}
+					// Zero refcount, still allocated: leaked if the last
+					// toucher is dead; otherwise a live client is between
+					// its commit CAS and the end of its reclaim.
+					if c.pool.ClientDeadOrRecovered(int(hdr.LCID)) {
+						c.cascadeFree(b)
+						r.Reclaimed++
+					} else {
+						r.Pending++
+					}
+				} else {
+					// Free-marked block not on any list: lost mid-free. The
+					// freeer's ID was recorded in the meta embed field.
+					freeer := int(m.EmbedCnt)
+					switch {
+					case !relink:
+						// Membership snapshot may be stale in a reclaiming
+						// round; the relink round handles lost blocks.
+					case freeer == c.cid || c.pool.ClientDeadOrRecovered(freeer):
+						c.h.Store(b+freeNextOff, c.h.Load(metaA+pmFree))
+						c.h.Store(metaA+pmFree, b)
+						onList[b] = struct{}{}
+						r.Relinked++
+					default:
+						r.Pending++ // live freeer will complete the push
+					}
+				}
+			}
+		}
+	}
+
+	r.Quiet = r.Live == 0 && r.Pending == 0
+	if !relink {
+		return r
+	}
+	if r.Quiet && ownerDead {
+		// Return the whole segment to the pool (resets flags and
+		// client_free; versions defeat ABA on reuse).
+		c.h.Store(c.geo.SegClientFreeAddr(seg), 0)
+		c.releaseSegment(seg)
+		r.Freed = true
+		return r
+	}
+	if r.Pending == 0 && st.Flags&layout.SegFlagPotentialLeaking != 0 {
+		// Everything interrupted has been resolved; clear the sticky flag so
+		// the segment isn't rescanned forever. Live blocks are fine — the
+		// flag only means "a reclaim may have been cut short here".
+		cur := c.h.Load(a)
+		cst := layout.UnpackSegState(cur)
+		if cst.Flags&layout.SegFlagPotentialLeaking != 0 {
+			cst.Flags &^= layout.SegFlagPotentialLeaking
+			if c.h.CAS(a, cur, layout.PackSegState(cst)) {
+				r.FlagCleared = true
+			}
+		}
+	}
+	return r
+}
+
+// scanFlaggedOwned runs the owner's periodic duty (§5.3): a segment-local
+// scan of any owned segment carrying the POTENTIAL_LEAKING flag. Called
+// from the allocation slow path, so its cost amortizes exactly as the paper
+// argues ("doesn't need to be performed more than once per second").
+func (c *Client) scanFlaggedOwned() {
+	for _, seg := range c.segments {
+		st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
+		if int(st.CID) == c.cid && st.State == layout.SegActive &&
+			st.Flags&layout.SegFlagPotentialLeaking != 0 {
+			c.ScanSegment(seg, false)
+		}
+	}
+}
+
+// SweepRootRefSlot releases whatever an in_use RootRef slot of a dead
+// client still references, applying the §5.1 in-flight allocation checks:
+//
+//   - pptr == 0: the allocation never linked (or a release already
+//     unlinked); just clear the slot.
+//   - pptr equals the free pointer of the target's page (free-list head or
+//     bump frontier): the allocation never advanced past the block; the
+//     block is still free, so only the slot is cleared.
+//   - target header refcount == 0: the allocation never initialized the
+//     count; the block is reclaimed by the segment scan, clear the slot.
+//   - otherwise: a normal era-based release of the reference.
+//
+// Returns true if the slot was in use. Must run after the dead client's
+// redo entry has been replayed (recovery does; the segment scan only sees
+// abandoned segments, which recovery produces after replay).
+func (c *Client) SweepRootRefSlot(slot layout.Addr) bool {
+	inUse, _ := layout.UnpackRootRef(c.h.Load(slot))
+	if !inUse {
+		return false
+	}
+	pptr := c.h.Load(slot + layout.RootRefPptrOff)
+	if pptr == 0 {
+		c.h.Store(slot, 0)
+		return true
+	}
+	tseg := c.geo.SegmentIndexOf(pptr)
+	if tseg >= 0 {
+		tst := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(tseg)))
+		if tst.State == layout.SegActive || tst.State == layout.SegAbandoned {
+			if tp := c.geo.PageIndexOf(tseg, pptr); tp >= 0 {
+				tmeta := c.geo.PageMetaAddr(tseg, tp)
+				if c.h.Load(tmeta+pmFree) == pptr || c.h.Load(tmeta+pmScan) == pptr {
+					// In-flight allocation: the block never left the free
+					// pointer, so releasing would double-free (§5.1).
+					c.h.Store(slot, 0)
+					return true
+				}
+			}
+		}
+	}
+	hdr := layout.UnpackHeader(c.h.Load(pptr + layout.HeaderOff))
+	if hdr.RefCnt == 0 {
+		// Initialization never completed (or the object is already being
+		// reclaimed); the segment scan finishes the block.
+		c.h.Store(slot, 0)
+		return true
+	}
+	if _, err := c.ReleaseReference(slot+layout.RootRefPptrOff, pptr); err != nil {
+		return true
+	}
+	c.h.Store(slot, 0)
+	return true
+}

@@ -1,0 +1,127 @@
+package shm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// TestSnapshotSurvivesTotalClientLoss models the paper's Figure 1 setup:
+// the CXL device has its own PSU, so its contents outlive every compute
+// node. All clients vanish (machine failure), the device image is attached
+// by a fresh incarnation, the stale clients are recovered, and data held by
+// named roots is still there.
+func TestSnapshotSurvivesTotalClientLoss(t *testing.T) {
+	// --- first incarnation ---
+	p1 := newTestPool(t)
+	w := connect(t, p1)
+	s1, err := kv.Create(w, 0, 64, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := s1.Put(k, []byte{byte(k), 0x5A}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another client holds an unshared object that must NOT survive (it has
+	// no named root; its owner is gone for good).
+	loner := connect(t, p1)
+	if _, _, err := loner.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Total loss: nobody exits cleanly; we only have the device image.
+	img := p1.Snapshot()
+
+	// --- second incarnation ---
+	p2, err := shm.AttachSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := p2.StaleClients()
+	if len(stale) != 2 {
+		t.Fatalf("stale clients = %v, want 2", stale)
+	}
+	recoverAll(t, p2, stale...)
+
+	// The KV store survives via its named root; the loner's object is gone.
+	res := mustValidate(t, p2)
+	if res.AllocatedObjects != 101 { // index + 100 records
+		t.Fatalf("allocated=%d, want 101", res.AllocatedObjects)
+	}
+	c2 := connect(t, p2)
+	s2, err := kv.Open(c2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	for k := uint64(0); k < 100; k++ {
+		if _, err := s2.Get(k, buf); err != nil {
+			t.Fatalf("get %d after reincarnation: %v", k, err)
+		}
+		if !bytes.Equal(buf[:2], []byte{byte(k), 0x5A}) {
+			t.Fatalf("key %d corrupted: %v", k, buf[:2])
+		}
+	}
+	// The new incarnation is fully operational: write, delete, drop.
+	if err := s2.Put(7, []byte{7, 0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.UnpublishRoot(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recoverNothing := mustValidate(t, p2)
+	if recoverNothing.AllocatedObjects != 0 {
+		t.Fatalf("%d objects left after teardown", recoverNothing.AllocatedObjects)
+	}
+}
+
+func TestAttachSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := shm.AttachSnapshot(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := shm.AttachSnapshot(make([]uint64, 64)); err == nil {
+		t.Fatal("unformatted snapshot accepted")
+	}
+	// Truncated image: right magic, wrong size.
+	p := newTestPool(t)
+	img := p.Snapshot()
+	if _, err := shm.AttachSnapshot(img[:len(img)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotPreservesEraMatrix(t *testing.T) {
+	p1 := newTestPool(t)
+	c := connect(t, p1)
+	for i := 0; i < 10; i++ {
+		root, _, err := c.Malloc(32, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReleaseRoot(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eraBefore := c.Era()
+	img := p1.Snapshot()
+	p2, err := shm.AttachSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoverAll(t, p2, p2.StaleClients()...)
+	// A new client reusing the slot must continue the era sequence, never
+	// restart it (committed-era uniqueness across incarnations).
+	c2 := connect(t, p2)
+	if c2.ID() == c.ID() && c2.Era() <= eraBefore {
+		t.Fatalf("era restarted: %d after %d", c2.Era(), eraBefore)
+	}
+	_ = layout.MaxEra
+}

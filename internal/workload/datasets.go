@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Text synthesizes a word-count corpus of approximately bytes bytes drawn
+// from a zipf-distributed vocabulary — the stand-in for the paper's 1 GB
+// text dataset (Figure 9), scaled to laptop size. The zipf draw matches
+// natural-language word frequencies closely enough that word-count hash
+// tables see realistic collision/skew behaviour.
+func Text(bytes int, vocab int, seed int64) string {
+	if vocab < 2 {
+		vocab = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(vocab-1))
+	var b strings.Builder
+	b.Grow(bytes + 16)
+	for b.Len() < bytes {
+		w := z.Uint64()
+		fmt.Fprintf(&b, "w%d", w)
+		if rng.Intn(12) == 0 {
+			b.WriteByte('\n')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// Points synthesizes a kmeans dataset: n points of dim dimensions drawn
+// around k ground-truth cluster centers (the paper uses 500k 8-dimension
+// points in 1k clusters; callers scale). Returned as a flat row-major
+// float64 slice.
+func Points(n, dim, k int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float64, k*dim)
+	for i := range centers {
+		centers[i] = rng.Float64() * 1000
+	}
+	pts := make([]float64, n*dim)
+	for p := 0; p < n; p++ {
+		c := rng.Intn(k)
+		for d := 0; d < dim; d++ {
+			pts[p*dim+d] = centers[c*dim+d] + rng.NormFloat64()*5
+		}
+	}
+	return pts
+}

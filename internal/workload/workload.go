@@ -1,0 +1,263 @@
+// Package workload generates the benchmark workloads of the paper's
+// evaluation: YCSB-style key-value operation streams with configurable zipf
+// skew (Figure 10c), the TATP and SmallBank transaction mixes (Figure 10d),
+// write/read ratio mixes (Figure 10b), and the synthetic datasets for the
+// MapReduce experiments (Figure 9): a text corpus for word count and a
+// clustered point set for kmeans.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a key-value operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is one key-value operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// KVConfig shapes a key-value operation stream.
+type KVConfig struct {
+	Keys int // key space size
+	// WriteRatio in [0,1]: fraction of writes (paper's W:R 1:0 .. 1:9).
+	WriteRatio float64
+	// Zipf skew θ; 0 means uniform. The paper sweeps {0, .5, .9, .99}.
+	Zipf float64
+	Seed int64
+}
+
+// KVStream produces a deterministic operation stream.
+type KVStream struct {
+	cfg  KVConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewKVStream validates cfg and builds a stream.
+func NewKVStream(cfg KVConfig) (*KVStream, error) {
+	if cfg.Keys <= 0 {
+		return nil, fmt.Errorf("workload: Keys must be positive, got %d", cfg.Keys)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("workload: WriteRatio %v out of [0,1]", cfg.WriteRatio)
+	}
+	s := &KVStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Zipf > 0 {
+		// rand.Zipf requires s > 1; the conventional YCSB θ in (0,1) maps to
+		// the exponent s = 1/(1-θ) shape-wise; clamp near-1 θ.
+		theta := cfg.Zipf
+		if theta >= 0.999 {
+			theta = 0.999
+		}
+		s.zipf = rand.NewZipf(s.rng, 1/(1-theta), 1, uint64(cfg.Keys-1))
+		if s.zipf == nil {
+			return nil, fmt.Errorf("workload: bad zipf parameter %v", cfg.Zipf)
+		}
+	}
+	return s, nil
+}
+
+// Next returns the next operation.
+func (s *KVStream) Next() Op {
+	var key uint64
+	if s.zipf != nil {
+		key = s.zipf.Uint64()
+	} else {
+		key = uint64(s.rng.Intn(s.cfg.Keys))
+	}
+	kind := OpRead
+	if s.rng.Float64() < s.cfg.WriteRatio {
+		kind = OpWrite
+	}
+	return Op{Kind: kind, Key: key}
+}
+
+// Fill produces n operations.
+func (s *KVStream) Fill(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = s.Next()
+	}
+	return ops
+}
+
+// --- TATP (Telecom Application Transaction Processing) ---
+
+// TATPTxnKind enumerates the TATP read-write mix used by the paper (only
+// the read-write workload; CXL-KV has no transactions, so each "txn" is a
+// fixed sequence of reads/writes on subscriber rows).
+type TATPTxnKind uint8
+
+// TATP transaction kinds with their standard mix percentages.
+const (
+	TATPGetSubscriberData TATPTxnKind = iota // 35%
+	TATPGetNewDestination                    // 10%
+	TATPGetAccessData                        // 35%
+	TATPUpdateSubscriber                     // 2%
+	TATPUpdateLocation                       // 14%
+	TATPInsertCallForward                    // 2%  (modelled as write)
+	TATPDeleteCallForward                    // 2%  (modelled as write)
+)
+
+// TATPTxn is one TATP transaction: a subscriber and the kind.
+type TATPTxn struct {
+	Kind       TATPTxnKind
+	Subscriber uint64
+}
+
+// Ops expands the transaction into its key-value operations over the
+// subscriber's four logical rows (subscriber, access-info, special-facility,
+// call-forwarding), keyed as sub*4+row.
+func (t TATPTxn) Ops() []Op {
+	s := t.Subscriber * 4
+	switch t.Kind {
+	case TATPGetSubscriberData:
+		return []Op{{OpRead, s}}
+	case TATPGetNewDestination:
+		return []Op{{OpRead, s + 2}, {OpRead, s + 3}}
+	case TATPGetAccessData:
+		return []Op{{OpRead, s + 1}}
+	case TATPUpdateSubscriber:
+		return []Op{{OpRead, s}, {OpWrite, s}, {OpWrite, s + 2}}
+	case TATPUpdateLocation:
+		return []Op{{OpRead, s}, {OpWrite, s}}
+	case TATPInsertCallForward:
+		return []Op{{OpRead, s}, {OpRead, s + 2}, {OpWrite, s + 3}}
+	case TATPDeleteCallForward:
+		return []Op{{OpRead, s}, {OpWrite, s + 3}}
+	}
+	return nil
+}
+
+// TATPStream generates the standard TATP mix over n subscribers.
+type TATPStream struct {
+	rng  *rand.Rand
+	subs uint64
+}
+
+// NewTATP creates a TATP stream over subscribers many subscribers.
+func NewTATP(subscribers int, seed int64) (*TATPStream, error) {
+	if subscribers <= 0 {
+		return nil, fmt.Errorf("workload: subscribers must be positive")
+	}
+	return &TATPStream{rng: rand.New(rand.NewSource(seed)), subs: uint64(subscribers)}, nil
+}
+
+// Next returns the next transaction following the standard mix.
+func (t *TATPStream) Next() TATPTxn {
+	p := t.rng.Intn(100)
+	var kind TATPTxnKind
+	switch {
+	case p < 35:
+		kind = TATPGetSubscriberData
+	case p < 45:
+		kind = TATPGetNewDestination
+	case p < 80:
+		kind = TATPGetAccessData
+	case p < 82:
+		kind = TATPUpdateSubscriber
+	case p < 96:
+		kind = TATPUpdateLocation
+	case p < 98:
+		kind = TATPInsertCallForward
+	default:
+		kind = TATPDeleteCallForward
+	}
+	// TATP's non-uniform subscriber selection.
+	sub := uint64(t.rng.Int63n(int64(t.subs)))
+	return TATPTxn{Kind: kind, Subscriber: sub}
+}
+
+// --- SmallBank ---
+
+// SBTxnKind enumerates SmallBank transactions.
+type SBTxnKind uint8
+
+// SmallBank transaction kinds (standard mix: 15% each of the first five,
+// 25% Balance).
+const (
+	SBAmalgamate SBTxnKind = iota
+	SBDepositChecking
+	SBSendPayment
+	SBTransactSavings
+	SBWriteCheck
+	SBBalance
+)
+
+// SBTxn is one SmallBank transaction over one or two accounts.
+type SBTxn struct {
+	Kind SBTxnKind
+	A, B uint64
+}
+
+// Ops expands the transaction to key-value operations: account a's checking
+// row is key a*2, savings a*2+1.
+func (t SBTxn) Ops() []Op {
+	ca, sa := t.A*2, t.A*2+1
+	cb := t.B * 2
+	switch t.Kind {
+	case SBAmalgamate:
+		return []Op{{OpRead, ca}, {OpRead, sa}, {OpWrite, ca}, {OpWrite, sa}, {OpWrite, cb}}
+	case SBDepositChecking:
+		return []Op{{OpRead, ca}, {OpWrite, ca}}
+	case SBSendPayment:
+		return []Op{{OpRead, ca}, {OpRead, cb}, {OpWrite, ca}, {OpWrite, cb}}
+	case SBTransactSavings:
+		return []Op{{OpRead, sa}, {OpWrite, sa}}
+	case SBWriteCheck:
+		return []Op{{OpRead, ca}, {OpRead, sa}, {OpWrite, ca}}
+	case SBBalance:
+		return []Op{{OpRead, ca}, {OpRead, sa}}
+	}
+	return nil
+}
+
+// SBStream generates the SmallBank mix over n accounts.
+type SBStream struct {
+	rng      *rand.Rand
+	accounts uint64
+}
+
+// NewSmallBank creates a SmallBank stream.
+func NewSmallBank(accounts int, seed int64) (*SBStream, error) {
+	if accounts <= 1 {
+		return nil, fmt.Errorf("workload: need at least 2 accounts")
+	}
+	return &SBStream{rng: rand.New(rand.NewSource(seed)), accounts: uint64(accounts)}, nil
+}
+
+// Next returns the next transaction.
+func (s *SBStream) Next() SBTxn {
+	p := s.rng.Intn(100)
+	var kind SBTxnKind
+	switch {
+	case p < 15:
+		kind = SBAmalgamate
+	case p < 30:
+		kind = SBDepositChecking
+	case p < 45:
+		kind = SBSendPayment
+	case p < 60:
+		kind = SBTransactSavings
+	case p < 75:
+		kind = SBWriteCheck
+	default:
+		kind = SBBalance
+	}
+	a := uint64(s.rng.Int63n(int64(s.accounts)))
+	b := uint64(s.rng.Int63n(int64(s.accounts)))
+	for b == a {
+		b = uint64(s.rng.Int63n(int64(s.accounts)))
+	}
+	return SBTxn{Kind: kind, A: a, B: b}
+}

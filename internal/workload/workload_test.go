@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKVStreamValidation(t *testing.T) {
+	if _, err := NewKVStream(KVConfig{Keys: 0}); err == nil {
+		t.Fatal("zero keys accepted")
+	}
+	if _, err := NewKVStream(KVConfig{Keys: 10, WriteRatio: 1.5}); err == nil {
+		t.Fatal("bad write ratio accepted")
+	}
+}
+
+func TestKVStreamWriteRatio(t *testing.T) {
+	for _, ratio := range []float64{0, 0.1, 0.5, 1} {
+		s, err := NewKVStream(KVConfig{Keys: 1000, WriteRatio: ratio, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if s.Next().Kind == OpWrite {
+				writes++
+			}
+		}
+		got := float64(writes) / n
+		if math.Abs(got-ratio) > 0.02 {
+			t.Fatalf("ratio %v: measured %v", ratio, got)
+		}
+	}
+}
+
+func TestKVStreamKeysInRange(t *testing.T) {
+	for _, zipf := range []float64{0, 0.5, 0.99} {
+		s, err := NewKVStream(KVConfig{Keys: 100, Zipf: zipf, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			if k := s.Next().Key; k >= 100 {
+				t.Fatalf("zipf %v: key %d out of range", zipf, k)
+			}
+		}
+	}
+}
+
+func TestZipfSkewIncreasesHotness(t *testing.T) {
+	hotShare := func(zipf float64) float64 {
+		s, _ := NewKVStream(KVConfig{Keys: 10000, Zipf: zipf, Seed: 3})
+		counts := map[uint64]int{}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			counts[s.Next().Key]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / n
+	}
+	uniform, skewed := hotShare(0), hotShare(0.99)
+	if skewed < uniform*10 {
+		t.Fatalf("zipf 0.99 hot share %v not ≫ uniform %v", skewed, uniform)
+	}
+}
+
+func TestKVStreamDeterministic(t *testing.T) {
+	mk := func() []Op {
+		s, _ := NewKVStream(KVConfig{Keys: 100, WriteRatio: 0.3, Zipf: 0.9, Seed: 42})
+		return s.Fill(100)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+}
+
+func TestTATPMixAndOps(t *testing.T) {
+	s, err := NewTATP(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[TATPTxnKind]int{}
+	reads, writes := 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		txn := s.Next()
+		counts[txn.Kind]++
+		ops := txn.Ops()
+		if len(ops) == 0 {
+			t.Fatalf("txn kind %d expands to no ops", txn.Kind)
+		}
+		for _, op := range ops {
+			if op.Key >= 4000 {
+				t.Fatalf("key %d outside subscriber rows", op.Key)
+			}
+			if op.Kind == OpRead {
+				reads++
+			} else {
+				writes++
+			}
+		}
+	}
+	// The standard mix is 80% read-only transactions.
+	ro := counts[TATPGetSubscriberData] + counts[TATPGetNewDestination] + counts[TATPGetAccessData]
+	if share := float64(ro) / n; math.Abs(share-0.80) > 0.02 {
+		t.Fatalf("read-only txn share %v, want ~0.80", share)
+	}
+	if writes == 0 || reads == 0 {
+		t.Fatal("degenerate op mix")
+	}
+}
+
+func TestSmallBankMixAndOps(t *testing.T) {
+	s, err := NewSmallBank(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[SBTxnKind]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		txn := s.Next()
+		counts[txn.Kind]++
+		if txn.A == txn.B {
+			t.Fatal("self-payment generated")
+		}
+		if len(txn.Ops()) == 0 {
+			t.Fatalf("txn kind %d expands to no ops", txn.Kind)
+		}
+	}
+	if share := float64(counts[SBBalance]) / n; math.Abs(share-0.25) > 0.02 {
+		t.Fatalf("Balance share %v, want ~0.25", share)
+	}
+	if _, err := NewSmallBank(1, 0); err == nil {
+		t.Fatal("single-account bank accepted")
+	}
+}
+
+func TestTextCorpusShape(t *testing.T) {
+	txt := Text(10000, 500, 9)
+	if len(txt) < 10000 {
+		t.Fatalf("corpus too short: %d", len(txt))
+	}
+	words := strings.Fields(txt)
+	if len(words) < 1000 {
+		t.Fatalf("too few words: %d", len(words))
+	}
+	freq := map[string]int{}
+	for _, w := range words {
+		freq[w]++
+	}
+	if len(freq) < 20 {
+		t.Fatalf("vocabulary collapsed to %d words", len(freq))
+	}
+	// Zipf: the top word should dominate the median word.
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(words)/20 {
+		t.Fatalf("no head word: max freq %d of %d", max, len(words))
+	}
+}
+
+func TestPointsClusterAroundCenters(t *testing.T) {
+	const n, dim, k = 2000, 4, 8
+	pts := Points(n, dim, k, 11)
+	if len(pts) != n*dim {
+		t.Fatalf("got %d floats", len(pts))
+	}
+	// With σ=5 around centers in [0,1000)^dim, points of the same cluster
+	// are close; verify the data isn't uniform by checking nearest-neighbor
+	// distances are much smaller than random expectation for many points.
+	close := 0
+	for p := 0; p < 200; p++ {
+		best := math.MaxFloat64
+		for q := 0; q < n; q++ {
+			if q == p {
+				continue
+			}
+			d := 0.0
+			for c := 0; c < dim; c++ {
+				diff := pts[p*dim+c] - pts[q*dim+c]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best < 400 { // within ~20 units
+			close++
+		}
+	}
+	if close < 150 {
+		t.Fatalf("only %d/200 points have close neighbours; not clustered", close)
+	}
+}
