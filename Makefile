@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is the full pre-merge gate:
+# vet + build + tests, plus the race detector on the concurrency-heavy
+# packages (allocator, recovery, metrics).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shm ./internal/recovery ./internal/obs .
+
+verify: vet build test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1s .

@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	scaleFlag := flag.Float64("scale", 1.0, "iteration-count multiplier")
 	threads := flag.String("threads", "1,2,4,8", "comma-separated thread/client counts")
+	metrics := flag.Bool("metrics", false, "collect pool metrics; write BENCH_<name>_metrics.json per experiment and print a summary")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -33,9 +35,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *metrics {
+		obs.EnableGlobal()
+	}
 
 	run := func(name string) {
 		start := time.Now()
+		var before obs.Snapshot
+		if *metrics {
+			before = obs.GlobalSnapshot()
+		}
 		fmt.Printf("== %s ==\n", name)
 		switch name {
 		case "table1":
@@ -118,6 +127,9 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
+		if *metrics {
+			writeMetrics(name, obs.GlobalSnapshot().Sub(before))
+		}
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -138,7 +150,11 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `cxlbench — regenerate the CXL-SHM paper's evaluation
 
-usage: cxlbench [-scale F] [-threads 1,2,4,8] <experiment>...
+usage: cxlbench [-scale F] [-threads 1,2,4,8] [-metrics] <experiment>...
+
+-metrics collects pool observability counters during each experiment and
+writes a BENCH_<experiment>_metrics.json snapshot alongside the printed
+tables.
 
 experiments:
   table1    memory-type micro-benchmark (paper Table 1)
@@ -178,6 +194,22 @@ func parseInts(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty thread list")
 	}
 	return out, nil
+}
+
+// writeMetrics dumps the experiment's metrics delta next to the experiment's
+// output: a machine-readable JSON snapshot plus a terminal summary.
+func writeMetrics(name string, snap obs.Snapshot) {
+	fmt.Println("-- metrics --")
+	snap.WriteSummary(os.Stdout)
+	data, err := obs.MarshalIndentJSON(snap, nil)
+	if err != nil {
+		fatal(err)
+	}
+	path := fmt.Sprintf("BENCH_%s_metrics.json", name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
 }
 
 func fatal(err error) {

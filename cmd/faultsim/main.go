@@ -18,6 +18,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/shm"
 )
@@ -26,7 +27,11 @@ func main() {
 	trials := flag.Int("trials", 2000, "randomized trials to run")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	systematic := flag.Bool("systematic", false, "also crash at every occurrence of every crash point")
+	metrics := flag.Bool("metrics", false, "collect pool metrics; write FAULTSIM_metrics.json and print a summary")
 	flag.Parse()
+	if *metrics {
+		obs.EnableGlobal()
+	}
 
 	crashes, clean := 0, 0
 	if *systematic {
@@ -53,6 +58,19 @@ func main() {
 	}
 	fmt.Printf("randomized: %d trials, %d with injected crashes, %d crash-free — all validated clean\n",
 		*trials, crashes, clean)
+	if *metrics {
+		snap := obs.GlobalSnapshot()
+		fmt.Println("-- metrics (all trials) --")
+		snap.WriteSummary(os.Stdout)
+		data, err := obs.MarshalIndentJSON(snap, nil)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile("FAULTSIM_metrics.json", data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("metrics snapshot written to FAULTSIM_metrics.json")
+	}
 }
 
 func newPool() (*shm.Pool, error) {
@@ -219,6 +237,10 @@ func runTrial(seed int64) (crashed bool, err error) {
 			return crash != nil, fmt.Errorf("survivor release: %w", err)
 		}
 	}
+	// Publish the short-lived clients' counters for -metrics before the
+	// monitor fences them (a fenced client's shard is frozen as-is).
+	x.FlushMetrics()
+	o.FlushMetrics()
 	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
 	for i := 0; i < 4; i++ {
 		mon.Tick()

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cxl"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/shm"
 )
@@ -192,6 +193,36 @@ func (p *Pool) Close() {
 
 // Usage summarizes pool occupancy (segment states, live clients, size).
 func (p *Pool) Usage() shm.Usage { return p.p.Usage() }
+
+// Stats is a point-in-time observability snapshot of a pool: occupancy,
+// aggregated hot-path counters and latency histograms (summed over all
+// client shards), and the monitor's fencing history.
+type Stats struct {
+	Usage      shm.Usage                        `json:"usage"`
+	Counters   map[string]uint64                `json:"counters"`
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+	Fences     []recovery.FenceRecord           `json:"fences,omitempty"`
+}
+
+// Stats aggregates the pool's sharded metrics into one snapshot. Safe to call
+// concurrently with running clients; counters are read atomically per shard.
+func (p *Pool) Stats() Stats {
+	snap := p.p.Obs().Snapshot()
+	st := Stats{
+		Usage:      p.p.Usage(),
+		Counters:   snap.Counters,
+		Histograms: snap.Histograms,
+	}
+	if p.mon != nil {
+		st.Fences = p.mon.Fences()
+	}
+	return st
+}
+
+// TraceEvents returns the pool's recovery-lifecycle event trace (client
+// fences, leak flags, segment scans, redo replays), oldest first. The trace
+// is a bounded ring; old events are overwritten.
+func (p *Pool) TraceEvents() []obs.Event { return p.p.Obs().Tracer().Events() }
 
 // Internal exposes the underlying implementation pool for benchmarks,
 // validators, and tools. Applications do not need it.

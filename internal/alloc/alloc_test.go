@@ -77,11 +77,12 @@ func TestSHMInstrumentationCollectsBreakdowns(t *testing.T) {
 		t.Fatalf("breakdowns = %d, want 2", len(s.Breakdowns))
 	}
 	for i, b := range s.Breakdowns {
-		if b.Ops == 0 || b.Total <= 0 {
-			t.Fatalf("breakdown %d empty: %+v", i, b)
+		if b.Ops() == 0 || b.Total() <= 0 {
+			t.Fatalf("breakdown %d empty: ops=%d total=%v", i, b.Ops(), b.Total())
 		}
-		if b.FlushOps == 0 || b.FenceOps == 0 {
-			t.Fatalf("breakdown %d counted no flushes/fences: %+v", i, b)
+		if b.FlushOps() == 0 || b.FenceOps() == 0 {
+			t.Fatalf("breakdown %d counted no flushes/fences: flush=%d fence=%d",
+				i, b.FlushOps(), b.FenceOps())
 		}
 		f, fe, al := b.Shares(100, 20)
 		if f <= 0 || fe <= 0 || al < 0 || f+fe+al > 100.001 {

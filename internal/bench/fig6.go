@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/layout"
@@ -129,14 +130,14 @@ func Fig7(scale Scale, threadCounts []int, flushNS, fenceNS int) ([]Fig7Row, err
 		if err != nil {
 			return err
 		}
-		var agg shm.Breakdown
+		var flushOps, fenceOps uint64
+		var total time.Duration
 		for _, b := range s.Breakdowns {
-			agg.FlushOps += b.FlushOps
-			agg.FenceOps += b.FenceOps
-			agg.Total += b.Total
-			agg.Ops += b.Ops
+			flushOps += b.FlushOps()
+			fenceOps += b.FenceOps()
+			total += b.Total()
 		}
-		fl, fe, al := agg.Shares(flushNS, fenceNS)
+		fl, fe, al := shm.BreakdownShares(flushOps, fenceOps, total, flushNS, fenceNS)
 		rows = append(rows, Fig7Row{workload, threads, fl, fe, al})
 		return nil
 	}

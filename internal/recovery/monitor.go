@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Monitor is the standalone failure detector (paper §3.2): it watches every
@@ -26,9 +27,20 @@ type Monitor struct {
 	lastBeat map[int]uint64
 	misses   map[int]int
 	reports  []Report
+	fences   []FenceRecord
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// FenceRecord describes one fencing decision the monitor acted on: who was
+// fenced, when, why, and — for heartbeat timeouts — how many intervals the
+// client had been silent.
+type FenceRecord struct {
+	Client int       `json:"client"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	Misses int       `json:"misses,omitempty"`
 }
 
 // MonitorConfig tunes the monitor.
@@ -79,6 +91,27 @@ func (m *Monitor) Reports() []Report {
 	return out
 }
 
+// Fences returns every fencing decision the monitor has acted on, oldest
+// first.
+func (m *Monitor) Fences() []FenceRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]FenceRecord, len(m.fences))
+	copy(out, m.fences)
+	return out
+}
+
+// LastFence returns the most recent fence record, and false if no client has
+// been fenced yet.
+func (m *Monitor) LastFence() (FenceRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.fences) == 0 {
+		return FenceRecord{}, false
+	}
+	return m.fences[len(m.fences)-1], true
+}
+
 func (m *Monitor) run() {
 	defer close(m.done)
 	t := time.NewTicker(m.interval)
@@ -104,6 +137,8 @@ func (m *Monitor) Tick() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	p.Obs().Shard(0).Inc(obs.CtrMonitorTick)
+
 	for cid := 1; cid <= geo.MaxClients; cid++ {
 		if cid == self {
 			continue
@@ -115,7 +150,13 @@ func (m *Monitor) Tick() {
 			if beat == m.lastBeat[cid] {
 				m.misses[cid]++
 				if m.misses[cid] >= m.threshold {
-					if err := p.MarkClientDead(cid); err == nil {
+					if err := p.MarkClientDeadReason(cid, obs.FenceHeartbeat); err == nil {
+						m.fences = append(m.fences, FenceRecord{
+							Client: cid,
+							Time:   time.Now(),
+							Reason: obs.FenceHeartbeat.String(),
+							Misses: m.misses[cid],
+						})
 						m.recoverLocked(cid)
 					}
 				}
@@ -124,6 +165,13 @@ func (m *Monitor) Tick() {
 				m.misses[cid] = 0
 			}
 		case layout.ClientDead:
+			// Fenced elsewhere (explicit kill or clean close); the monitor
+			// only owes it recovery, but record that it acted on the fence.
+			m.fences = append(m.fences, FenceRecord{
+				Client: cid,
+				Time:   time.Now(),
+				Reason: "found-dead",
+			})
 			m.recoverLocked(cid)
 		}
 	}

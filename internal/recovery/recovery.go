@@ -10,8 +10,10 @@ package recovery
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
 
@@ -73,6 +75,8 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 		return r, fmt.Errorf("recovery: client %d not dead (status %d)", cid, status)
 	}
 	p.Device().FenceClient(cid)
+	t0 := time.Now()
+	p.Obs().Trace(obs.Event{Type: obs.EvRecoveryStarted, Client: cid})
 
 	// Step 2: redo decision and replay.
 	r.RedoNeeded = s.replayRedo(cid)
@@ -123,6 +127,17 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 	dev := p.Device()
 	dev.Store(geo.ClientStatusAddr(cid), layout.ClientRecovered)
 	p.ClearRedo(cid)
+
+	// Publish the executor's scan/sweep counts before announcing the pass,
+	// so a snapshot taken after the recovery sees exact totals.
+	s.exec.FlushMetrics()
+	sh := p.Obs().Shard(0)
+	sh.Inc(obs.CtrRecoveryPass)
+	sh.Observe(obs.HistRecoveryNS, time.Since(t0).Nanoseconds())
+	p.Obs().Trace(obs.Event{
+		Type: obs.EvRecoveryFinished, Client: cid,
+		A: uint64(r.Reclaimed), B: uint64(r.SweptRoots),
+	})
 	return r, nil
 }
 
@@ -140,8 +155,9 @@ func (s *Service) replayRedo(cid int) bool {
 
 	switch entry.Op {
 	case shm.OpAttach:
-		if s.committed(entry.Refed, cid, entry.Era, eraII) {
+		if ok, cond := s.committed(entry.Refed, cid, entry.Era, eraII); ok {
 			dev.Store(entry.Ref, entry.Refed) // replay ModifyRef (idempotent)
+			s.traceReplay(cid, entry.Op, cond)
 			return true
 		}
 	case shm.OpRelease:
@@ -153,14 +169,23 @@ func (s *Service) replayRedo(cid int) bool {
 				p.FlagSegmentLeaking(seg)
 			}
 		}
-		if s.committed(entry.Refed, cid, entry.Era, eraII) {
+		if ok, cond := s.committed(entry.Refed, cid, entry.Era, eraII); ok {
 			dev.Store(entry.Ref, 0) // replay ModifyRef (idempotent)
+			s.traceReplay(cid, entry.Op, cond)
 			return true
 		}
 	case shm.OpChange:
 		return s.replayChange(cid, entry, eraII)
 	}
 	return false
+}
+
+// traceReplay records one decided replay: counter plus a trace event noting
+// which of the paper's two commit-evidence conditions justified it.
+func (s *Service) traceReplay(cid int, op shm.Op, cond uint8) {
+	o := s.pool.Obs()
+	o.Shard(0).Inc(obs.CtrRedoReplay)
+	o.Trace(obs.Event{Type: obs.EvRedoReplayed, Client: cid, A: uint64(op), B: uint64(cond)})
 }
 
 // replayChange completes an interrupted two-phase change (§5.4): the era was
@@ -181,8 +206,9 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 		// was headed for "ref points at B": complete with a fresh attach
 		// transaction (B was certainly not incremented yet — that CAS only
 		// runs after the first era bump).
-		if s.committed(e.Refed, cid, e.Era, eraII) {
+		if ok, cond := s.committed(e.Refed, cid, e.Era, eraII); ok {
 			if err := s.exec.AttachReference(e.Ref, e.Refed2); err == nil {
+				s.traceReplay(cid, e.Op, cond)
 				return true
 			}
 		}
@@ -192,10 +218,13 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 		// Crashed in phase 2: A's decrement definitely committed. If B's
 		// increment committed too, only the ModifyRef needs replaying;
 		// otherwise run the attach for the client.
-		if s.committed(e.Refed2, cid, e.Era+1, eraII) {
+		if ok, cond := s.committed(e.Refed2, cid, e.Era+1, eraII); ok {
 			dev.Store(e.Ref, e.Refed2)
+			s.traceReplay(cid, e.Op, cond)
 		} else if err := s.exec.AttachReference(e.Ref, e.Refed2); err != nil {
 			return false
+		} else {
+			s.traceReplay(cid, e.Op, 0)
 		}
 		return true
 	default:
@@ -209,14 +238,16 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 // took effect: Condition 1 (the header still carries it) checked strictly
 // before Condition 2 (some other client has seen that era). Published
 // (cid, era) pairs are unique to one commit, so there are no false
-// positives; the paper proves the two conditions sufficient.
-func (s *Service) committed(lo layout.Addr, cid int, txnEra, eraII uint32) bool {
+// positives; the paper proves the two conditions sufficient. The second
+// return value names the deciding condition (1 or 2; 0 when not committed),
+// recorded in the recovery trace.
+func (s *Service) committed(lo layout.Addr, cid int, txnEra, eraII uint32) (bool, uint8) {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
 	hdr := layout.UnpackHeader(dev.Load(lo + layout.HeaderOff))
 	if int(hdr.LCID) == cid && hdr.LEra == txnEra {
-		return true // Condition 1
+		return true, 1 // Condition 1
 	}
 	// The device is sequentially consistent, which subsumes the memory
 	// fence the paper requires between the two condition checks.
@@ -229,7 +260,10 @@ func (s *Service) committed(lo layout.Addr, cid int, txnEra, eraII uint32) bool 
 			maxSeen = e
 		}
 	}
-	return txnEra <= maxSeen // Condition 2
+	if txnEra <= maxSeen {
+		return true, 2 // Condition 2
+	}
+	return false, 0
 }
 
 // ownedSegments lists segments whose state word carries the dead client's ID.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/shm"
 )
@@ -105,6 +106,40 @@ func TestRecoverClientHoldingObjects(t *testing.T) {
 	if res.SegmentsActive != 0 || res.SegmentsOther != 0 {
 		t.Fatalf("segments not reclaimed: active=%d other=%d",
 			res.SegmentsActive, res.SegmentsOther)
+	}
+
+	// The recovery lifecycle must show up in the pool's observability layer:
+	// the fence, the recovery pass bracket, and the root sweeps.
+	want := map[obs.EventType]bool{
+		obs.EvClientFenced:     false,
+		obs.EvRecoveryStarted:  false,
+		obs.EvRecoveryFinished: false,
+	}
+	var finished obs.Event
+	for _, e := range p.Obs().Tracer().Events() {
+		if _, ok := want[e.Type]; ok && e.Client == c.ID() {
+			want[e.Type] = true
+			if e.Type == obs.EvRecoveryFinished {
+				finished = e
+			}
+		}
+	}
+	for ty, seen := range want {
+		if !seen {
+			t.Errorf("no %v trace event for client %d", ty, c.ID())
+		}
+	}
+	if finished.A != uint64(r.Reclaimed) || finished.B != uint64(r.SweptRoots) {
+		t.Errorf("finish event payload (reclaimed=%d swept=%d) != report (%d, %d)",
+			finished.A, finished.B, r.Reclaimed, r.SweptRoots)
+	}
+	snap := p.Obs().Snapshot()
+	if got := snap.Counters[obs.CtrRootSwept.Name()]; got != n {
+		t.Errorf("rootrefs_swept = %d, want %d", got, n)
+	}
+	if snap.Counters[obs.CtrRecoveryPass.Name()] == 0 ||
+		snap.Counters[obs.CtrClientFenced.Name()] == 0 {
+		t.Errorf("recovery/fence counters empty: %+v", snap.Counters)
 	}
 }
 
@@ -484,6 +519,22 @@ func TestMonitorDetectsStalledClient(t *testing.T) {
 	res := mustClean(t, p, "monitor")
 	if res.AllocatedObjects != 0 {
 		t.Fatal("stalled client's object leaked")
+	}
+	last, ok := mon.LastFence()
+	if !ok {
+		t.Fatal("monitor recorded no fence")
+	}
+	if last.Client != c.ID() || last.Reason != obs.FenceHeartbeat.String() {
+		t.Fatalf("fence record %+v, want client %d for %q", last, c.ID(), obs.FenceHeartbeat)
+	}
+	if last.Misses < 2 || last.Time.IsZero() {
+		t.Fatalf("fence record missing detail: %+v", last)
+	}
+	if got := len(mon.Fences()); got != 1 {
+		t.Fatalf("monitor recorded %d fences, want 1", got)
+	}
+	if snap := p.Obs().Snapshot(); snap.Counters[obs.CtrMonitorTick.Name()] != 5 {
+		t.Fatalf("monitor_ticks = %d, want 5", snap.Counters[obs.CtrMonitorTick.Name()])
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Allocation (paper §3.3 and §5.1).
@@ -48,19 +49,35 @@ const (
 
 func (c *Client) pageMetaAddr(pr pageRef) layout.Addr { return c.geo.PageMetaAddr(pr.seg, pr.page) }
 
+// allocSampleEvery is the Malloc latency sampling period: one call in this
+// many feeds the alloc_ns histogram, keeping the fast path flat while the
+// histogram still converges within any benchmark-scale run. Must be a power
+// of two.
+const allocSampleEvery = 64
+
 // Malloc allocates dataBytes of shared memory with embedRefs embedded
 // references at the start of the data area (paper §3.1: cxl_malloc). It
 // returns the RootRef address (what a CXLRef points to) and the block
 // address. The returned object has reference count 1, held by the RootRef.
 func (c *Client) Malloc(dataBytes, embedRefs int) (root, block layout.Addr, err error) {
+	timed := c.timing || c.allocSeq&(allocSampleEvery-1) == 0
+	c.allocSeq++
 	var t0 time.Time
-	if c.breakdown != nil {
+	if timed {
 		t0 = time.Now()
 	}
 	root, block, err = c.malloc(dataBytes, embedRefs)
-	if c.breakdown != nil {
-		c.breakdown.Total += time.Since(t0)
-		c.breakdown.Ops++
+	if err != nil {
+		c.loc[obs.CtrAllocFail]++
+	} else {
+		c.loc[obs.CtrAlloc]++
+	}
+	if timed {
+		ns := time.Since(t0).Nanoseconds()
+		c.mx.Observe(obs.HistAllocNS, ns)
+		if c.timing {
+			c.loc[obs.CtrAllocNanos] += uint64(ns)
+		}
 	}
 	return root, block, err
 }
@@ -302,6 +319,7 @@ func (c *Client) claimSegment() (int, error) {
 		// lazily at claimPageIn.
 		c.h.Store(c.geo.SegNextPageAddr(i), 0)
 		c.hit(faultinject.AfterSegmentClaim)
+		c.loc[obs.CtrSegClaim]++
 		c.segments = append(c.segments, i)
 		return i, nil
 	}
@@ -426,6 +444,7 @@ func (c *Client) allocHuge(root layout.Addr, dataBytes, embedRefs int) (layout.A
 	}))
 	c.hit(faultinject.AfterHeaderInit)
 	c.bumpEra()
+	c.loc[obs.CtrAllocHuge]++
 	return block, nil
 }
 

@@ -1,29 +1,72 @@
 package shm
 
-import "time"
+import (
+	"time"
 
-// Breakdown accumulates where allocation fast-path time goes, reproducing
-// the paper's Figure 7 cost split: cache flush, memory fence, and the rest
-// of the allocation work. It counts flush/fence invocations and the total
-// wall time; shares are computed from the configured per-operation costs —
-// timing each ~100ns flush individually would perturb the measurement more
-// than the thing measured.
+	"repro/internal/obs"
+)
+
+// Breakdown is the Figure 7 cost-split view: where allocation fast-path
+// time goes between cache flush, memory fence, and the rest of the
+// allocation work. It is a window onto the client's local counters — the
+// counters themselves live in the client's obs accumulator, the one
+// instrumentation mechanism — recording their state at attach time so
+// several breakdowns (or reconnecting clients sharing a shard) stay
+// independent. Like the client itself, a Breakdown may only be read by
+// the client's goroutine or after a happens-before join with it.
+//
+// Shares are computed from the configured per-operation costs rather than
+// timing each ~100ns flush individually, which would perturb the
+// measurement more than the thing measured.
 type Breakdown struct {
-	FlushOps uint64
-	FenceOps uint64
-	Total    time.Duration
-	Ops      uint64
+	c         *Client
+	baseFlush uint64
+	baseFence uint64
+	baseOps   uint64
+	baseNanos uint64
+}
+
+// attach binds the view to a client (Client.SetBreakdown).
+func (b *Breakdown) attach(c *Client) {
+	b.c = c
+	b.baseFlush = c.loc[obs.CtrFlush]
+	b.baseFence = c.loc[obs.CtrFence]
+	b.baseOps = c.loc[obs.CtrAlloc] + c.loc[obs.CtrAllocFail]
+	b.baseNanos = c.loc[obs.CtrAllocNanos]
+}
+
+// FlushOps returns the cache-line flushes performed since attach.
+func (b *Breakdown) FlushOps() uint64 { return b.c.loc[obs.CtrFlush] - b.baseFlush }
+
+// FenceOps returns the memory fences performed since attach.
+func (b *Breakdown) FenceOps() uint64 { return b.c.loc[obs.CtrFence] - b.baseFence }
+
+// Ops returns the Malloc calls made since attach.
+func (b *Breakdown) Ops() uint64 {
+	return b.c.loc[obs.CtrAlloc] + b.c.loc[obs.CtrAllocFail] - b.baseOps
+}
+
+// Total returns the wall time spent in Malloc since attach (requires the
+// timing SetBreakdown enables).
+func (b *Breakdown) Total() time.Duration {
+	return time.Duration(b.c.loc[obs.CtrAllocNanos] - b.baseNanos)
 }
 
 // Shares returns the flush/fence/alloc split in percent, given the modelled
 // per-operation costs in nanoseconds.
 func (b *Breakdown) Shares(flushNS, fenceNS int) (flush, fence, alloc float64) {
-	if b.Total <= 0 {
+	return BreakdownShares(b.FlushOps(), b.FenceOps(), b.Total(), flushNS, fenceNS)
+}
+
+// BreakdownShares computes the Figure 7 split from aggregated flush/fence
+// counts and total allocation wall time (summed across threads).
+func BreakdownShares(flushOps, fenceOps uint64, total time.Duration, flushNS, fenceNS int) (flush, fence, alloc float64) {
+	if total <= 0 {
 		return 0, 0, 0
 	}
-	t := float64(b.Total.Nanoseconds())
-	flush = 100 * float64(b.FlushOps) * float64(flushNS) / t
-	fence = 100 * float64(b.FenceOps) * float64(fenceNS) / t
+	t := float64(total.Nanoseconds())
+	flush = 100 * float64(flushOps) * float64(flushNS) / t
+	fence = 100 * float64(fenceOps) * float64(fenceNS) / t
 	if flush > 100 {
 		flush = 100
 	}
@@ -34,18 +77,14 @@ func (b *Breakdown) Shares(flushNS, fenceNS int) (flush, fence, alloc float64) {
 	return
 }
 
-// timedFence performs an SFence, counting it if a breakdown is attached.
+// timedFence performs an SFence, counting it.
 func (c *Client) timedFence() {
 	c.h.SFence()
-	if c.breakdown != nil {
-		c.breakdown.FenceOps++
-	}
+	c.loc[obs.CtrFence]++
 }
 
-// timedFlush performs a Flush, counting it if a breakdown is attached.
+// timedFlush performs a Flush, counting it.
 func (c *Client) timedFlush(a uint64) {
 	c.h.Flush(a)
-	if c.breakdown != nil {
-		c.breakdown.FlushOps++
-	}
+	c.loc[obs.CtrFlush]++
 }

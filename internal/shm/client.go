@@ -4,6 +4,7 @@ import (
 	"repro/internal/cxl"
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Client is one participant of the RDSM: a thread, process, or machine with
@@ -34,8 +35,24 @@ type Client struct {
 	// fi is the crash injector (nil in production).
 	fi *faultinject.Injector
 
-	// breakdown, when non-nil, accumulates the Figure 7 cost split.
-	breakdown *Breakdown
+	// mx is this client's private metrics shard (pool.obs, shard cid):
+	// single-writer, cache-line-isolated. Hot paths do not even pay its
+	// atomics: they bump loc (plain, owner-only memory) and the running
+	// totals are published into the shard with atomic stores every
+	// pubEvery era bumps, on Heartbeat, on Close, and at scan/recovery
+	// boundaries. A crashed client's unpublished tail (< pubEvery events)
+	// is lost with it — metrics for the dead are best-effort; the recovery
+	// service's own shard carries the authoritative recovery counts.
+	mx  *obs.Shard
+	loc [obs.NumCounters]uint64
+	// pubTick counts era bumps since the last publish.
+	pubTick uint32
+	// timing, when set (SetBreakdown), charges full Malloc wall time into
+	// the metrics for the Figure 7 breakdown. Latency histograms are
+	// sampled regardless (1/allocSampleEvery).
+	timing bool
+	// allocSeq counts Malloc calls for latency sampling.
+	allocSeq uint64
 
 	// retiredList parks unlinked nodes awaiting hazard-era reclamation
 	// (hazard.go). Local state: a crash abandons it, and the segment-local
@@ -80,6 +97,7 @@ func (p *Pool) Connect() (*Client, error) {
 		cid:        cid,
 		eraRow:     make([]uint32, geo.MaxClients+1),
 		classPages: make([][]pageRef, len(geo.Classes)),
+		mx:         p.obs.Shard(cid),
 	}
 	// Continue the era sequence of the previous incarnation; start at 1 on a
 	// fresh slot (era 0 never appears in a committed header, so the all-zero
@@ -87,6 +105,12 @@ func (p *Pool) Connect() (*Client, error) {
 	prev := uint32(p.dev.Load(geo.EraAddr(cid, cid)))
 	c.era = prev + 1
 	c.h.Store(geo.EraAddr(cid, cid), uint64(c.era))
+	// Continue the shard's published totals too: a reused slot publishes
+	// cumulative counts, so pool-wide counters stay monotonic across client
+	// incarnations.
+	for i := range c.loc {
+		c.loc[i] = c.mx.Get(obs.Counter(i))
+	}
 	for j := 1; j <= geo.MaxClients; j++ {
 		if j != cid {
 			c.eraRow[j] = uint32(p.dev.Load(geo.EraAddr(cid, j)))
@@ -108,14 +132,50 @@ func (c *Client) Era() uint32 { return c.era }
 // SetInjector arms a crash injector on this client (tests only).
 func (c *Client) SetInjector(fi *faultinject.Injector) { c.fi = fi }
 
-// SetBreakdown attaches a Figure 7 cost accumulator.
-func (c *Client) SetBreakdown(b *Breakdown) { c.breakdown = b }
+// SetBreakdown binds a Figure 7 cost view to this client's metrics and
+// enables full Malloc wall-time accounting.
+func (c *Client) SetBreakdown(b *Breakdown) {
+	b.attach(c)
+	c.timing = true
+}
+
+// Metrics exposes the client's private metrics shard (tests, adapters),
+// publishing any locally accumulated counts first.
+func (c *Client) Metrics() *obs.Shard {
+	c.publishMetrics()
+	return c.mx
+}
+
+// FlushMetrics publishes the client's locally accumulated counters into its
+// shard immediately. Only the client's own goroutine (or a caller that
+// happens-after it, e.g. after a worker join) may call it.
+func (c *Client) FlushMetrics() { c.publishMetrics() }
+
+// pubEvery is the metrics publication period in era bumps: small enough
+// that snapshots lag live clients by at most a few dozen operations, large
+// enough that the per-counter atomic stores amortize to noise on the
+// allocation fast path (which bumps the era twice per malloc/free cycle).
+const pubEvery = 64
+
+// publishMetrics stores the local counter totals into the shard. A fenced
+// client stops publishing: its slot may already have a new incarnation
+// owning the shard, and a stale overwrite would travel counts backwards.
+func (c *Client) publishMetrics() {
+	c.pubTick = 0
+	if c.h.Fenced() {
+		return
+	}
+	c.mx.SetCounters(&c.loc)
+}
 
 // Heartbeat advances the client's liveness counter; the monitor declares
-// clients dead when the counter stops advancing.
+// clients dead when the counter stops advancing. Heartbeating also
+// publishes the client's metrics — the same "I'm alive" cadence keeps the
+// pool's counters fresh.
 func (c *Client) Heartbeat() {
 	a := c.geo.ClientHeartbeatAddr(c.cid)
 	c.h.Store(a, c.h.Load(a)+1)
+	c.publishMetrics()
 }
 
 // Fenced reports whether this client has been RAS-fenced.
@@ -131,7 +191,8 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.pool.MarkClientDead(c.cid)
+	c.publishMetrics()
+	return c.pool.MarkClientDeadReason(c.cid, obs.FenceClose)
 }
 
 // Crash simulates an abrupt client death: identical to Close but named for
@@ -161,6 +222,10 @@ func (c *Client) observeEra(lcid uint16, lera uint32) {
 func (c *Client) bumpEra() {
 	c.era++
 	c.h.Store(c.geo.EraAddr(c.cid, c.cid), uint64(c.era))
+	c.loc[obs.CtrEraBump]++
+	if c.pubTick++; c.pubTick >= pubEvery {
+		c.publishMetrics()
+	}
 }
 
 // hit triggers the crash injector at a named point.

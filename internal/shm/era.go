@@ -3,6 +3,7 @@ package shm
 import (
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // The era-based non-blocking reference count maintenance algorithm
@@ -46,9 +47,11 @@ func (c *Client) AttachReference(ref, refed layout.Addr) error {
 		newW := layout.PackHeader(layout.Header{
 			LCID: uint16(c.cid), LEra: c.era, RefCnt: saved.RefCnt + 1,
 		})
+		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
 			break
 		}
+		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return ErrFenced
 		}
@@ -115,9 +118,11 @@ func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim bool) (newC
 		newW := layout.PackHeader(layout.Header{
 			LCID: uint16(c.cid), LEra: c.era, RefCnt: newCnt,
 		})
+		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
 			break
 		}
+		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return 0, false, ErrFenced
 		}
@@ -189,9 +194,11 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 		newW := layout.PackHeader(layout.Header{
 			LCID: uint16(c.cid), LEra: c.era, RefCnt: newCntA,
 		})
+		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(a+layout.HeaderOff, savedW, newW) {
 			break
 		}
+		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return ErrFenced
 		}
@@ -215,9 +222,11 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 		newW := layout.PackHeader(layout.Header{
 			LCID: uint16(c.cid), LEra: c.era, RefCnt: saved.RefCnt + 1,
 		})
+		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(b+layout.HeaderOff, savedW, newW) {
 			break
 		}
+		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return ErrFenced
 		}

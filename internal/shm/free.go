@@ -3,6 +3,7 @@ package shm
 import (
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Reclamation (paper §5.3).
@@ -33,23 +34,35 @@ func (c *Client) flagSegmentLeaking(addr layout.Addr) {
 	if seg < 0 {
 		return
 	}
-	c.pool.FlagSegmentLeaking(seg)
+	if c.pool.flagLeaking(seg) {
+		c.loc[obs.CtrLeakFlag]++
+	}
 	c.hit(faultinject.AfterLeakFlag)
 }
 
 // FlagSegmentLeaking sets the POTENTIAL_LEAKING flag on segment seg (also
 // used by the recovery service when replaying a release that hit zero).
 func (p *Pool) FlagSegmentLeaking(seg int) {
+	if p.flagLeaking(seg) {
+		p.obs.Shard(0).Inc(obs.CtrLeakFlag)
+	}
+}
+
+// flagLeaking sets the flag, reporting whether this call made the 0→1
+// transition — only that transition is traced and worth counting (the flag
+// is sticky until a scan clears it, so re-flags are routine noise).
+func (p *Pool) flagLeaking(seg int) bool {
 	a := p.geo.SegStateAddr(seg)
 	for {
 		w := p.dev.Load(a)
 		st := layout.UnpackSegState(w)
 		if st.Flags&layout.SegFlagPotentialLeaking != 0 {
-			return
+			return false
 		}
 		st.Flags |= layout.SegFlagPotentialLeaking
 		if p.dev.CAS(a, w, layout.PackSegState(st)) {
-			return
+			p.obs.Trace(obs.Event{Type: obs.EvSegmentFlagged, Segment: seg})
+			return true
 		}
 	}
 }
@@ -112,6 +125,7 @@ func (c *Client) reclaimRaw(block layout.Addr) {
 	if seg < 0 {
 		return
 	}
+	c.loc[obs.CtrFree]++
 	c.h.Store(block+layout.HeaderOff, 0)
 	c.h.Store(block+layout.MetaOff, layout.PackMeta(layout.Meta{
 		Flags: 0, EmbedCnt: uint16(c.cid), BlockWords: m.BlockWords,
@@ -165,6 +179,7 @@ func (c *Client) freeHuge(block layout.Addr, m layout.Meta) {
 	if headSt.State != layout.SegHugeHead {
 		return // already freed (idempotent re-run)
 	}
+	c.loc[obs.CtrFreeHuge]++
 	owner := headSt.CID
 	k := int((m.BlockWords + c.geo.SegmentWords - 1) / c.geo.SegmentWords)
 	// Erase the object identity before releasing memory.

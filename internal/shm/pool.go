@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cxl"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Config configures a Pool.
@@ -21,6 +22,18 @@ type Config struct {
 type Pool struct {
 	dev *cxl.Device
 	geo *layout.Geometry
+	obs *obs.Metrics
+}
+
+// traceRingCap bounds the recovery-event ring buffer per pool.
+const traceRingCap = 512
+
+// newMetrics builds the pool's observability core: shard 0 for pool-level
+// and recovery-service accounting, shards 1..MaxClients per client ID.
+func newMetrics(geo *layout.Geometry) *obs.Metrics {
+	m := obs.New(geo.MaxClients+1, traceRingCap)
+	obs.Register(m)
+	return m
 }
 
 // NewPool creates and formats a shared pool.
@@ -37,7 +50,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{dev: dev, geo: geo}
+	p := &Pool{dev: dev, geo: geo, obs: newMetrics(geo)}
 	p.format()
 	return p, nil
 }
@@ -91,7 +104,7 @@ func AttachSnapshot(snapshot []uint64) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{dev: dev, geo: geo}, nil
+	return &Pool{dev: dev, geo: geo, obs: newMetrics(geo)}, nil
 }
 
 // StaleClients lists client slots whose previous incarnation never exited
@@ -111,6 +124,9 @@ func (p *Pool) StaleClients() []int {
 // Device exposes the underlying device (recovery, validation, benchmarks).
 func (p *Pool) Device() *cxl.Device { return p.dev }
 
+// Obs exposes the pool's observability core (metrics + recovery tracer).
+func (p *Pool) Obs() *obs.Metrics { return p.obs }
+
 // Geometry exposes the pool geometry.
 func (p *Pool) Geometry() *layout.Geometry { return p.geo }
 
@@ -129,6 +145,13 @@ func (p *Pool) ClientStatus(cid int) uint64 {
 // also RAS-fences the client so no in-flight write can land after recovery
 // starts (§3.2).
 func (p *Pool) MarkClientDead(cid int) error {
+	return p.MarkClientDeadReason(cid, obs.FenceExplicit)
+}
+
+// MarkClientDeadReason is MarkClientDead carrying why the client is being
+// fenced, recorded in the recovery event trace (the monitor passes
+// heartbeat-timeout; Client.Close passes close).
+func (p *Pool) MarkClientDeadReason(cid int, reason obs.FenceReason) error {
 	if cid < 1 || cid > p.geo.MaxClients {
 		return fmt.Errorf("shm: client id %d out of range", cid)
 	}
@@ -138,11 +161,18 @@ func (p *Pool) MarkClientDead(cid int) error {
 		if cur != layout.ClientAlive && cur != layout.ClientDead {
 			return fmt.Errorf("shm: client %d not alive (status %d)", cid, cur)
 		}
-		if cur == layout.ClientDead || p.dev.CAS(a, cur, layout.ClientDead) {
+		if cur == layout.ClientDead {
+			// Already fenced: don't re-trace (recovery re-fences defensively).
+			p.dev.FenceClient(cid)
+			return nil
+		}
+		if p.dev.CAS(a, cur, layout.ClientDead) {
 			break
 		}
 	}
 	p.dev.FenceClient(cid)
+	p.obs.Shard(0).Inc(obs.CtrClientFenced)
+	p.obs.Trace(obs.Event{Type: obs.EvClientFenced, Client: cid, A: uint64(reason)})
 	return nil
 }
 

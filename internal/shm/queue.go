@@ -3,6 +3,7 @@ package shm
 import (
 	"repro/internal/faultinject"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Reference transfer over shared single-producer-single-consumer queues
@@ -149,6 +150,7 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
 	head, tail := c.h.Load(headA), c.h.Load(tailA)
 	if tail-head >= uint64(capacity) {
+		c.loc[obs.CtrQueueFull]++
 		return ErrQueueFull
 	}
 	slot := queueSlot(block, capacity, tail)
@@ -157,6 +159,7 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 	}
 	c.hit(faultinject.AfterSendAttach)
 	c.h.Store(tailA, tail+1)
+	c.loc[obs.CtrQueueSend]++
 	return nil
 }
 
@@ -170,6 +173,7 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
 	head, tail := c.h.Load(headA), c.h.Load(tailA)
 	if head == tail {
+		c.loc[obs.CtrQueueEmpty]++
 		return 0, 0, ErrQueueEmpty
 	}
 	slot := queueSlot(block, capacity, head)
@@ -178,6 +182,7 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 		// The slot was already released (we died after releasing but before
 		// advancing the head last time, and recovery replayed): just advance.
 		c.h.Store(headA, head+1)
+		c.loc[obs.CtrQueueEmpty]++
 		return 0, 0, ErrQueueEmpty
 	}
 	root, err = c.allocRootRef()
@@ -194,6 +199,7 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 	}
 	c.hit(faultinject.AfterReceiveRelease)
 	c.h.Store(headA, head+1)
+	c.loc[obs.CtrQueueReceive]++
 	return root, target, nil
 }
 

@@ -1,6 +1,11 @@
 package shm
 
-import "repro/internal/layout"
+import (
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
 
 // The asynchronous segment-local scan (paper §5.3).
 //
@@ -55,6 +60,22 @@ type ScanReport struct {
 // free blocks are only re-linked in a round that reclaimed nothing (with a
 // fresh snapshot).
 func (c *Client) ScanSegment(seg int, ownerDead bool) ScanReport {
+	t0 := time.Now()
+	c.pool.obs.Trace(obs.Event{Type: obs.EvScanStarted, Client: c.cid, Segment: seg})
+	total := c.scanSegment(seg, ownerDead)
+	c.loc[obs.CtrScanPass]++
+	c.loc[obs.CtrScanReclaimed] += uint64(total.Reclaimed)
+	c.loc[obs.CtrScanRelinked] += uint64(total.Relinked)
+	c.mx.Observe(obs.HistScanNS, time.Since(t0).Nanoseconds())
+	c.publishMetrics()
+	c.pool.obs.Trace(obs.Event{
+		Type: obs.EvScanFinished, Client: c.cid, Segment: seg,
+		A: uint64(total.Reclaimed), B: uint64(total.Relinked),
+	})
+	return total
+}
+
+func (c *Client) scanSegment(seg int, ownerDead bool) ScanReport {
 	var total ScanReport
 	for {
 		r := c.scanSegmentOnce(seg, ownerDead, false)
@@ -281,6 +302,7 @@ func (c *Client) SweepRootRefSlot(slot layout.Addr) bool {
 	if !inUse {
 		return false
 	}
+	c.loc[obs.CtrRootSwept]++
 	pptr := c.h.Load(slot + layout.RootRefPptrOff)
 	if pptr == 0 {
 		c.h.Store(slot, 0)
