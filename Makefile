@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench
+.PHONY: all build test vet race verify bench bench-fastpath bench-smoke
 
 all: verify
 
@@ -20,7 +20,18 @@ test:
 race:
 	$(GO) test -race ./internal/shm ./internal/recovery ./internal/obs .
 
-verify: vet build test race
+# bench-smoke runs the fast-path micro-benchmarks a handful of iterations
+# under the race detector: not for numbers, but to drive the benchmark paths
+# (shadow caches, batched transfer) through the race checker cheaply.
+bench-smoke:
+	$(GO) test -race -run xxx -bench 'BenchmarkAlloc$$|BenchmarkMallocFree|BenchmarkQueueTransfer|BenchmarkQueueBatch' -benchtime 10x .
+
+verify: vet build test race bench-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .
+
+# bench-fastpath measures ns/op and device loads/stores/CAS per fast-path
+# operation and (re)writes BENCH_fastpath.json in the repo root.
+bench-fastpath:
+	$(GO) run ./cmd/cxlbench fastpath

@@ -60,6 +60,35 @@ func BenchmarkMallocFree(b *testing.B) {
 	}
 }
 
+// BenchmarkAlloc measures the §5.1 allocation fast path alone: pure Malloc
+// throughput, with accumulated objects released off the clock.
+func BenchmarkAlloc(b *testing.B) {
+	p := benchPool(b)
+	c, err := p.Connect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := make([]layout.Addr, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, _, err := c.Malloc(64, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots = append(roots, root)
+		if len(roots) == cap(roots) {
+			b.StopTimer()
+			for _, r := range roots {
+				if _, err := c.ReleaseRoot(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			roots = roots[:0]
+			b.StartTimer()
+		}
+	}
+}
+
 // BenchmarkAttachRelease measures one full era transaction pair (Figure
 // 4(c)): the cross-client reference count maintenance CXL-SHM is built on.
 func BenchmarkAttachRelease(b *testing.B) {
@@ -128,6 +157,46 @@ func BenchmarkQueueTransfer(b *testing.B) {
 		}
 		if _, err := r.ReleaseRoot(root); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueueBatch transfers references in batches of 32; ns/op is per
+// reference, comparable to BenchmarkQueueTransfer's per-item cost.
+func BenchmarkQueueBatch(b *testing.B) {
+	const batch = 32
+	p := benchPool(b)
+	s, _ := p.Connect()
+	r, _ := p.Connect()
+	_, q, err := s.CreateQueue(r.ID(), batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.OpenQueue(q); err != nil {
+		b.Fatal(err)
+	}
+	_, obj, err := s.Malloc(64, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := make([]layout.Addr, batch)
+	for i := range targets {
+		targets[i] = obj
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		sent, err := s.SendBatch(q, targets)
+		if err != nil || sent != batch {
+			b.Fatalf("sent %d: %v", sent, err)
+		}
+		roots, _, err := r.ReceiveBatch(q, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, root := range roots {
+			if _, err := r.ReleaseRoot(root); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -53,6 +53,20 @@ func main() {
 				fatal(err)
 			}
 			bench.PrintTable1(os.Stdout, rows)
+		case "fastpath":
+			rows, err := bench.FastPath(scale)
+			if err != nil {
+				fatal(err)
+			}
+			bench.PrintFastPath(os.Stdout, rows)
+			data, err := bench.MarshalFastPath(rows)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile("BENCH_fastpath.json", append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("written to BENCH_fastpath.json")
 		case "fig6":
 			rows, err := bench.Fig6(scale, counts)
 			if err != nil {
@@ -135,8 +149,8 @@ func main() {
 
 	if flag.Arg(0) == "all" {
 		for _, name := range []string{
-			"table1", "fig6", "fig7", "recovery", "blocking", "fig8", "fig9",
-			"fig10a", "fig10b", "fig10c", "fig10d",
+			"table1", "fastpath", "fig6", "fig7", "recovery", "blocking",
+			"fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig10d",
 		} {
 			run(name)
 		}
@@ -158,6 +172,7 @@ tables.
 
 experiments:
   table1    memory-type micro-benchmark (paper Table 1)
+  fastpath  device accesses + ns per fast-path op; writes BENCH_fastpath.json
   fig6      threadtest/shbench allocator comparison (Figure 6)
   fig7      allocation fast-path cost breakdown (Figure 7)
   recovery  recovery throughput vs GC-based recovery (§6.2.1)

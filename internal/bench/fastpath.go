@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cxl"
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// Fast-path microbenchmark: wall time and device accesses per operation.
+//
+// The experiments above measure throughput shapes; this one measures the
+// fast-path claim directly — how many device words each allocation,
+// reclamation, and reference-transfer operation actually touches. On real
+// CXL hardware every one of those words is a memory-bus round trip, so the
+// loads/stores/CAS columns are the architecture-independent cost of an
+// operation, while ns/op is the simulator-local time (measured with access
+// counting enabled, so it slightly overstates absolute cost; compare runs,
+// not machines).
+
+// FastPathRow is one operation's measured per-op cost.
+type FastPathRow struct {
+	Op       string  `json:"op"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Loads    float64 `json:"device_loads_per_op"`
+	Stores   float64 `json:"device_stores_per_op"`
+	CASes    float64 `json:"device_cas_per_op"`
+	Accesses float64 `json:"device_accesses_per_op"`
+}
+
+// fastPathBatch is the batch size used for the SendBatch/ReceiveBatch rows.
+const fastPathBatch = 64
+
+// FastPath measures the allocation and reference-transfer fast paths on an
+// access-counting pool: Malloc, ReleaseRoot (free), single Send and
+// Receive+release, and their batched variants (per transferred reference).
+func FastPath(scale Scale) ([]FastPathRow, error) {
+	p, err := shm.NewPool(shm.Config{
+		Geometry: layout.GeometryConfig{
+			MaxClients:   8,
+			NumSegments:  128,
+			SegmentWords: 1 << 15,
+			PageWords:    1 << 11,
+		},
+		CountAccesses: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := p.Device()
+	c, err := p.Connect()
+	if err != nil {
+		return nil, err
+	}
+
+	n := scale.N(50_000)
+	roots := make([]layout.Addr, 0, n)
+	// Warm the page caches so the rows measure the steady-state fast path,
+	// not first-touch page claiming.
+	for i := 0; i < 256; i++ {
+		r, _, err := c.Malloc(64, 0)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, r)
+	}
+	for _, r := range roots {
+		if _, err := c.ReleaseRoot(r); err != nil {
+			return nil, err
+		}
+	}
+	roots = roots[:0]
+
+	var rows []FastPathRow
+	measure := func(op string, iters int, f func() error) error {
+		dev.ResetStats()
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", op, err)
+		}
+		el := time.Since(t0)
+		s := dev.Stats()
+		rows = append(rows, fastPathRow(op, iters, el, s))
+		return nil
+	}
+
+	if err := measure("malloc", n, func() error {
+		for i := 0; i < n; i++ {
+			r, _, err := c.Malloc(64, 0)
+			if err != nil {
+				return err
+			}
+			roots = append(roots, r)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("free", n, func() error {
+		for _, r := range roots {
+			if _, err := c.ReleaseRoot(r); err != nil {
+				return err
+			}
+		}
+		roots = roots[:0]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Reference transfer: a dedicated sender/receiver pair and one shared
+	// object, so the rows isolate queue costs from allocation costs (the
+	// receiver's RootRef claim/release is part of Receive by design).
+	snd, err := p.Connect()
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := p.Connect()
+	if err != nil {
+		return nil, err
+	}
+	_, q, err := snd.CreateQueue(rcv.ID(), 256)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rcv.OpenQueue(q); err != nil {
+		return nil, err
+	}
+	_, obj, err := snd.Malloc(64, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	m := scale.N(50_000)
+	if err := measure("send+receive+release", m, func() error {
+		for i := 0; i < m; i++ {
+			if err := snd.Send(q, obj); err != nil {
+				return err
+			}
+			root, _, err := rcv.Receive(q)
+			if err != nil {
+				return err
+			}
+			if _, err := rcv.ReleaseRoot(root); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	targets := make([]layout.Addr, fastPathBatch)
+	for i := range targets {
+		targets[i] = obj
+	}
+	batches := m / fastPathBatch
+	if err := measure("send+receive+release (batch)", batches*fastPathBatch, func() error {
+		for i := 0; i < batches; i++ {
+			sent, err := snd.SendBatch(q, targets)
+			if err != nil {
+				return err
+			}
+			if sent != fastPathBatch {
+				return fmt.Errorf("short batch send: %d", sent)
+			}
+			rs, _, err := rcv.ReceiveBatch(q, fastPathBatch)
+			if err != nil {
+				return err
+			}
+			for _, root := range rs {
+				if _, err := rcv.ReleaseRoot(root); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func fastPathRow(op string, iters int, el time.Duration, s cxl.Stats) FastPathRow {
+	n := float64(iters)
+	return FastPathRow{
+		Op:       op,
+		NsPerOp:  float64(el.Nanoseconds()) / n,
+		Loads:    float64(s.Loads) / n,
+		Stores:   float64(s.Stores) / n,
+		CASes:    float64(s.CASes) / n,
+		Accesses: float64(s.Loads+s.Stores+s.CASes) / n,
+	}
+}
+
+// PrintFastPath renders the fast-path rows.
+func PrintFastPath(w io.Writer, rows []FastPathRow) {
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Op, f1(r.NsPerOp), f2(r.Loads), f2(r.Stores), f2(r.CASes), f2(r.Accesses),
+		}
+	}
+	PrintTable(w, []string{"Op", "ns/op", "loads/op", "stores/op", "CAS/op", "accesses/op"}, table)
+}
+
+// MarshalFastPath renders the rows as the BENCH_fastpath.json document.
+func MarshalFastPath(rows []FastPathRow) ([]byte, error) {
+	doc := struct {
+		Benchmark string        `json:"benchmark"`
+		Rows      []FastPathRow `json:"rows"`
+	}{Benchmark: "fastpath", Rows: rows}
+	return json.MarshalIndent(doc, "", "  ")
+}

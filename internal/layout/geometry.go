@@ -4,8 +4,12 @@ import "fmt"
 
 // Geometry fixes the layout of the shared pool (paper Figure 3):
 //
-//	word 0                      magic
-//	word 1..                    geometry summary (for cross-checking)
+//	word 0                      nil address (reserved)
+//	word 1                      magic
+//	word 2..6                   geometry summary (for cross-checking)
+//	word 7                      global reclamation era
+//	word 8                      free-segment hint (SegFreeHintWord)
+//	word 9..15                  reserved
 //	SegVecBase..                Global Segment Allocation Vec
 //	                            (2 words per segment: state, client_free)
 //	ClientVecBase..             Global Client Local Vec
@@ -140,7 +144,7 @@ func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
 			g.SegmentWords, g.PageWords)
 	}
 
-	base := Addr(8) // word 0 magic, 1..7 geometry summary/reserved
+	base := Addr(16) // word 0 nil, 1..7 magic+geometry, 8 seg hint, 9..15 reserved
 	g.SegVecBase = base
 	base += Addr(2 * g.NumSegments)
 	g.ClientVecBase = base
@@ -156,6 +160,15 @@ func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
 	g.Classes = BuildSizeClasses(g.PageWords)
 	return g, nil
 }
+
+// SegFreeHintWord is the pool-header word holding the shared free-segment
+// hint: index+1 of a segment recently returned to the free pool, 0 when there
+// is no hint. Purely an accelerator for claim-time scans — any value (stale,
+// lost, zero) is correct, so writers may race and fenced writers may drop it.
+const SegFreeHintWord = Addr(8)
+
+// SegFreeHintAddr returns the address of the free-segment hint word.
+func (g *Geometry) SegFreeHintAddr() Addr { return SegFreeHintWord }
 
 // --- Global Segment Allocation Vec ---
 

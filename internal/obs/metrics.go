@@ -49,6 +49,9 @@ const (
 	CtrQueueReceive // successful queue receives
 	CtrQueueFull    // sends rejected with ErrQueueFull
 	CtrQueueEmpty   // receives rejected with ErrQueueEmpty
+	// CtrQueueStaleSlot counts receives that stepped past a recovered
+	// (already-released, zeroed) slot — crash debris, not real emptiness.
+	CtrQueueStaleSlot
 
 	CtrLeakFlag      // segments newly flagged POTENTIAL_LEAKING
 	CtrScanPass      // segment-local scans executed
@@ -80,7 +83,8 @@ var counterNames = [NumCounters]string{
 	CtrQueueSend:     "queue_send",
 	CtrQueueReceive:  "queue_receive",
 	CtrQueueFull:     "queue_full",
-	CtrQueueEmpty:    "queue_empty",
+	CtrQueueEmpty:     "queue_empty",
+	CtrQueueStaleSlot: "queue_stale_slot",
 	CtrLeakFlag:      "segments_flagged_leaking",
 	CtrScanPass:      "segment_scans",
 	CtrScanReclaimed: "scan_blocks_reclaimed",

@@ -385,7 +385,8 @@ func (s *Service) abandonSegment(seg int) {
 	}
 }
 
-// freeSegment returns a segment to the pool.
+// freeSegment returns a segment to the pool, publishing the free-segment
+// hint so the next claimer's scan starts here.
 func (s *Service) freeSegment(seg int) {
 	p := s.pool
 	a := p.Geometry().SegStateAddr(seg)
@@ -393,4 +394,5 @@ func (s *Service) freeSegment(seg int) {
 	p.Device().Store(a, layout.PackSegState(layout.SegState{
 		Version: st.Version + 1, State: layout.SegFree,
 	}))
+	p.Device().Store(p.Geometry().SegFreeHintAddr(), uint64(seg)+1)
 }

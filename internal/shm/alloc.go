@@ -26,10 +26,14 @@ import (
 // then classify any crash point: pptr==free-pointer ⇒ the allocation never
 // completed step 3, skip the release (§5.1); header refcnt==0 ⇒ step 4 never
 // completed, free only the RootRef.
+//
+// All owner-exclusive metadata reads on this path come from the client's
+// shadow cache (shadow.go); every write still lands on the device at the
+// same program point, so the ordering recovery depends on is unchanged.
 
 // blockSlot describes a block reserved (but not yet advanced past) in a page.
 type blockSlot struct {
-	pr       pageRef
+	op       *ownedPage
 	addr     layout.Addr
 	fromFree bool        // true: head of the page free list; false: bump region
 	next     layout.Addr // new free-list head or new bump pointer
@@ -157,67 +161,81 @@ func (c *Client) findBlock(ci int) (blockSlot, error) {
 	for {
 		list := c.classPages[ci]
 		for len(list) > 0 {
-			pr := list[len(list)-1]
-			if s, ok := c.tryPage(pr, ci); ok {
+			op := list[len(list)-1]
+			if s, ok := c.tryPage(op, ci); ok {
 				return s, nil
 			}
+			op.onClassList = false
 			list = list[:len(list)-1]
 			c.classPages[ci] = list
 		}
 		if c.collectDeferredFrees(ci) {
 			continue
 		}
-		pr, err := c.claimPage(layout.PageKindNormal, ci)
+		op, err := c.claimPage(layout.PageKindNormal, ci)
 		if err != nil {
 			return blockSlot{}, err
 		}
-		c.classPages[ci] = append(c.classPages[ci], pr)
+		op.onClassList = true
+		c.classPages[ci] = append(c.classPages[ci], op)
 	}
 }
 
-// tryPage reserves a block in pr: first from the page free list, then from
-// the never-allocated bump region.
-func (c *Client) tryPage(pr pageRef, ci int) (blockSlot, bool) {
-	meta := c.pageMetaAddr(pr)
-	if head := c.h.Load(meta + pmFree); head != 0 {
+// tryPage reserves a block in op's page: first from the page free list, then
+// from the never-allocated bump region. The only device access is reading the
+// free block's next pointer — the page meta comes from the shadow.
+func (c *Client) tryPage(op *ownedPage, ci int) (blockSlot, bool) {
+	if head := op.free; head != 0 {
 		return blockSlot{
-			pr:       pr,
+			op:       op,
 			addr:     head,
 			fromFree: true,
 			next:     c.h.Load(head + freeNextOff),
 		}, true
 	}
-	scan := c.h.Load(meta + pmScan)
 	bw := c.geo.Classes[ci].BlockWords
-	end := c.geo.PageBase(pr.seg, pr.page) + layout.Addr(c.geo.PageWords)
-	if scan+bw <= end {
-		return blockSlot{pr: pr, addr: scan, fromFree: false, next: scan + bw}, true
+	end := c.geo.PageBase(op.pr.seg, op.pr.page) + layout.Addr(c.geo.PageWords)
+	if op.scan+bw <= end {
+		return blockSlot{op: op, addr: op.scan, fromFree: false, next: op.scan + bw}, true
 	}
 	return blockSlot{}, false
 }
 
 // advanceSlot performs the §5.1 step 3: move the page free pointer past the
-// reserved block, and bump the page's used count.
+// reserved block, and bump the page's used count (write-through).
 func (c *Client) advanceSlot(s blockSlot) {
-	meta := c.pageMetaAddr(s.pr)
+	op := s.op
 	if s.fromFree {
-		c.h.Store(meta+pmFree, s.next)
+		op.free = s.next
+		c.h.Store(op.meta+pmFree, s.next)
 	} else {
-		c.h.Store(meta+pmScan, s.next)
+		op.scan = s.next
+		c.h.Store(op.meta+pmScan, s.next)
 	}
-	info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+	info := layout.UnpackPageMeta(op.info)
 	info.Used++
-	c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+	op.info = layout.PackPageMeta(info)
+	c.h.Store(op.meta+pmInfo, op.info)
+}
+
+// dfBatch groups one page's drained deferred frees during a collect pass.
+type dfBatch struct {
+	op     *ownedPage
+	blocks []layout.Addr
 }
 
 // collectDeferredFrees drains the client_free lists of this client's
 // segments (blocks freed by other clients, paper Figure 3), distributing
-// blocks back to their pages' free lists. Reports whether any block of class
-// ci came back (so the caller retries before claiming fresh pages).
+// blocks back to their pages' free lists. The distribution is batched per
+// page: blocks are re-chained into one page-local list and each page gets a
+// single free-head store and a single used-count store, instead of a
+// load/store pair per block. Reports whether any block of class ci came back
+// (so the caller retries before claiming fresh pages).
 func (c *Client) collectDeferredFrees(ci int) bool {
 	found := false
-	for _, seg := range c.segments {
-		cf := c.geo.SegClientFreeAddr(seg)
+	var batches []dfBatch
+	for _, os := range c.owned {
+		cf := c.geo.SegClientFreeAddr(os.seg)
 		var head layout.Addr
 		for {
 			head = c.h.Load(cf)
@@ -227,106 +245,182 @@ func (c *Client) collectDeferredFrees(ci int) bool {
 			if c.h.CAS(cf, head, 0) {
 				break
 			}
+			if c.h.Fenced() {
+				return found
+			}
 		}
+		if head == 0 {
+			continue
+		}
+		batches = batches[:0]
 		for head != 0 {
 			next := c.h.Load(head + freeNextOff)
-			pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, head)}
-			meta := c.pageMetaAddr(pr)
-			info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
-			c.h.Store(head+freeNextOff, c.h.Load(meta+pmFree))
-			c.h.Store(meta+pmFree, head)
-			if info.Used > 0 {
-				info.Used--
-			}
-			c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
-			if int(info.SizeClass) == ci && info.Kind == layout.PageKindNormal {
-				found = true
-				c.readdClassPage(ci, pr)
+			if op := c.ownedPageOf(os.seg, head); op != nil {
+				i := 0
+				for ; i < len(batches); i++ {
+					if batches[i].op == op {
+						break
+					}
+				}
+				if i == len(batches) {
+					batches = append(batches, dfBatch{op: op})
+				}
+				batches[i].blocks = append(batches[i].blocks, head)
 			}
 			head = next
+		}
+		for i := range batches {
+			b := &batches[i]
+			op := b.op
+			// Rewrite the next pointers into one page-local chain ending at
+			// the page's current free head, then publish the new head. A
+			// crash mid-chain leaves free-marked blocks on no list — the
+			// same lost-block state the segment-local scan already re-links.
+			for j, blk := range b.blocks {
+				nxt := op.free
+				if j+1 < len(b.blocks) {
+					nxt = b.blocks[j+1]
+				}
+				c.h.Store(blk+freeNextOff, nxt)
+			}
+			op.free = b.blocks[0]
+			c.h.Store(op.meta+pmFree, op.free)
+			info := layout.UnpackPageMeta(op.info)
+			n := uint32(len(b.blocks))
+			if info.Used > n {
+				info.Used -= n
+			} else {
+				info.Used = 0
+			}
+			op.info = layout.PackPageMeta(info)
+			c.h.Store(op.meta+pmInfo, op.info)
+			if info.Kind == layout.PageKindNormal {
+				c.readdClassPage(int(info.SizeClass), op)
+				if int(info.SizeClass) == ci {
+					found = true
+				}
+			}
 		}
 	}
 	return found
 }
 
-// readdClassPage puts pr back on the class page cache if absent.
-func (c *Client) readdClassPage(ci int, pr pageRef) {
-	for _, p := range c.classPages[ci] {
-		if p == pr {
-			return
-		}
+// readdClassPage puts op back on its class page cache if absent — O(1) via
+// the membership flag (the old linear scan grew with the page count).
+func (c *Client) readdClassPage(ci int, op *ownedPage) {
+	if op.onClassList {
+		return
 	}
-	c.classPages[ci] = append(c.classPages[ci], pr)
+	op.onClassList = true
+	c.classPages[ci] = append(c.classPages[ci], op)
 }
 
 // claimPage takes the next unclaimed page in an owned segment (claiming a
 // new segment if needed) and dedicates it to kind/class. Being the slow
 // path, it also runs the paper's periodic duty (§5.3): scan any owned
 // segment left in POTENTIAL_LEAKING state by an interrupted reclamation.
-func (c *Client) claimPage(kind uint8, ci int) (pageRef, error) {
+func (c *Client) claimPage(kind uint8, ci int) (*ownedPage, error) {
 	c.scanFlaggedOwned()
-	for _, seg := range c.segments {
-		if pr, ok := c.claimPageIn(seg, kind, ci); ok {
-			return pr, nil
+	for _, os := range c.owned {
+		if op, ok := c.claimPageIn(os, kind, ci); ok {
+			return op, nil
 		}
 	}
-	seg, err := c.claimSegment()
+	os, err := c.claimSegment()
 	if err != nil {
-		return pageRef{}, err
+		return nil, err
 	}
-	if pr, ok := c.claimPageIn(seg, kind, ci); ok {
-		return pr, nil
+	if op, ok := c.claimPageIn(os, kind, ci); ok {
+		return op, nil
 	}
-	return pageRef{}, ErrOutOfMemory
+	return nil, ErrOutOfMemory
 }
 
-func (c *Client) claimPageIn(seg int, kind uint8, ci int) (pageRef, bool) {
-	npAddr := c.geo.SegNextPageAddr(seg)
-	n := int(c.h.Load(npAddr))
+func (c *Client) claimPageIn(os *ownedSeg, kind uint8, ci int) (*ownedPage, bool) {
+	n := os.nextPage
 	if n >= c.geo.PagesPerSegment {
-		return pageRef{}, false
+		return nil, false
 	}
-	pr := pageRef{seg: seg, page: n}
-	meta := c.pageMetaAddr(pr)
+	op := &ownedPage{
+		pr:   pageRef{seg: os.seg, page: n},
+		meta: c.geo.PageMetaAddr(os.seg, n),
+		scan: c.geo.PageBase(os.seg, n),
+		info: layout.PackPageMeta(layout.PageMeta{
+			Kind: kind, Used: 0, SizeClass: uint32(ci),
+		}),
+	}
 	// Initialize the page meta before publishing it via the next-page
 	// counter; the segment is exclusively ours so this is owner-local.
-	c.h.Store(meta+pmInfo, layout.PackPageMeta(layout.PageMeta{
-		Kind: kind, Used: 0, SizeClass: uint32(ci),
-	}))
-	c.h.Store(meta+pmFree, 0)
-	c.h.Store(meta+pmScan, c.geo.PageBase(seg, n))
-	c.h.Store(npAddr, uint64(n+1))
-	return pr, true
+	c.h.Store(op.meta+pmInfo, op.info)
+	c.h.Store(op.meta+pmFree, 0)
+	c.h.Store(op.meta+pmScan, op.scan)
+	os.nextPage = n + 1
+	c.h.Store(c.geo.SegNextPageAddr(os.seg), uint64(n+1))
+	os.pages[n] = op
+	return op, true
 }
 
 // claimSegment CASes a free segment to exclusive ownership (the only
-// cross-client synchronization in the allocation path).
-func (c *Client) claimSegment() (int, error) {
-	for i := 0; i < c.geo.NumSegments; i++ {
-		a := c.geo.SegStateAddr(i)
-		w := c.h.Load(a)
-		st := layout.UnpackSegState(w)
-		if st.State != layout.SegFree {
-			continue
+// cross-client synchronization in the allocation path). The scan starts at
+// this client's striped cursor — not index 0 — so concurrent claimers spread
+// across the vector, and consults the shared free-segment hint first.
+func (c *Client) claimSegment() (*ownedSeg, error) {
+	hintA := c.geo.SegFreeHintAddr()
+	if h := c.h.Load(hintA); h != 0 {
+		// Consume the hint (best-effort CAS so two claimers don't chase the
+		// same index), then try the hinted segment directly.
+		c.h.CAS(hintA, h, 0)
+		if os, ok := c.tryClaimSegment(int(h) - 1); ok {
+			return os, nil
 		}
-		nw := layout.PackSegState(layout.SegState{
-			CID: uint16(c.cid), Version: st.Version + 1, State: layout.SegActive,
-		})
-		if !c.h.CAS(a, w, nw) {
-			continue
+	}
+	n := c.geo.NumSegments
+	for k := 0; k < n; k++ {
+		i := c.segCursor + k
+		if i >= n {
+			i -= n
 		}
-		// Reset the owner-local page counter; page metas are initialized
-		// lazily at claimPageIn.
-		c.h.Store(c.geo.SegNextPageAddr(i), 0)
-		c.hit(faultinject.AfterSegmentClaim)
-		c.loc[obs.CtrSegClaim]++
-		c.segments = append(c.segments, i)
-		return i, nil
+		if os, ok := c.tryClaimSegment(i); ok {
+			c.segCursor = i + 1
+			if c.segCursor == n {
+				c.segCursor = 0
+			}
+			return os, nil
+		}
 	}
 	if c.h.Fenced() {
-		return 0, ErrFenced
+		return nil, ErrFenced
 	}
-	return 0, ErrOutOfMemory
+	return nil, ErrOutOfMemory
+}
+
+// tryClaimSegment attempts the ownership CAS on segment i, registering the
+// segment's shadow on success.
+func (c *Client) tryClaimSegment(i int) (*ownedSeg, bool) {
+	if i < 0 || i >= c.geo.NumSegments {
+		return nil, false
+	}
+	a := c.geo.SegStateAddr(i)
+	w := c.h.Load(a)
+	st := layout.UnpackSegState(w)
+	if st.State != layout.SegFree {
+		return nil, false
+	}
+	nw := layout.PackSegState(layout.SegState{
+		CID: uint16(c.cid), Version: st.Version + 1, State: layout.SegActive,
+	})
+	if !c.h.CAS(a, w, nw) {
+		return nil, false
+	}
+	// Reset the owner-local page counter; page metas are initialized
+	// lazily at claimPageIn.
+	c.h.Store(c.geo.SegNextPageAddr(i), 0)
+	c.hit(faultinject.AfterSegmentClaim)
+	c.loc[obs.CtrSegClaim]++
+	os := &ownedSeg{seg: i, pages: make([]*ownedPage, c.geo.PagesPerSegment)}
+	c.owned = append(c.owned, os)
+	c.ownedBySeg[i] = os
+	return os, true
 }
 
 // --- RootRef slots ---
@@ -339,21 +433,22 @@ func (c *Client) claimSegment() (int, error) {
 func (c *Client) allocRootRef() (layout.Addr, error) {
 	for {
 		for len(c.rootPages) > 0 {
-			pr := c.rootPages[len(c.rootPages)-1]
-			meta := c.pageMetaAddr(pr)
+			op := c.rootPages[len(c.rootPages)-1]
 			var slot layout.Addr
-			if head := c.h.Load(meta + pmFree); head != 0 {
+			if head := op.free; head != 0 {
 				slot = head
-				c.h.Store(meta+pmFree, c.h.Load(head+layout.RootRefPptrOff))
+				op.free = c.h.Load(head + layout.RootRefPptrOff)
+				c.h.Store(op.meta+pmFree, op.free)
 			} else {
-				scan := c.h.Load(meta + pmScan)
-				end := c.geo.PageBase(pr.seg, pr.page) + layout.Addr(c.geo.PageWords)
-				if scan+layout.RootRefWords > end {
+				end := c.geo.PageBase(op.pr.seg, op.pr.page) + layout.Addr(c.geo.PageWords)
+				if op.scan+layout.RootRefWords > end {
+					op.onClassList = false
 					c.rootPages = c.rootPages[:len(c.rootPages)-1]
 					continue
 				}
-				slot = scan
-				c.h.Store(meta+pmScan, scan+layout.RootRefWords)
+				slot = op.scan
+				op.scan += layout.RootRefWords
+				c.h.Store(op.meta+pmScan, op.scan)
 			}
 			c.hit(faultinject.AfterRootRefAdvance)
 			// pptr must be zeroed before in_use is set: recovery treats any
@@ -361,16 +456,18 @@ func (c *Client) allocRootRef() (layout.Addr, error) {
 			c.h.Store(slot+layout.RootRefPptrOff, 0)
 			c.h.Store(slot, layout.PackRootRef(true, 1))
 			c.hit(faultinject.AfterRootRefClaim)
-			info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+			info := layout.UnpackPageMeta(op.info)
 			info.Used++
-			c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+			op.info = layout.PackPageMeta(info)
+			c.h.Store(op.meta+pmInfo, op.info)
 			return slot, nil
 		}
-		pr, err := c.claimPage(layout.PageKindRootRef, 0)
+		op, err := c.claimPage(layout.PageKindRootRef, 0)
 		if err != nil {
 			return 0, err
 		}
-		c.rootPages = append(c.rootPages, pr)
+		op.onClassList = true
+		c.rootPages = append(c.rootPages, op)
 	}
 }
 
@@ -381,27 +478,35 @@ func (c *Client) abortRootRef(slot layout.Addr) {
 }
 
 // freeRootRefSlot clears a RootRef and pushes it back to its page free list
-// (owner-local; RootRefs always live in their creator's pages).
+// (owner-local; RootRefs always live in their creator's pages). Ownership is
+// decided by the shadow index — no device load — and a page that had been
+// dropped from the RootRef cache while full is re-added, so freed slots are
+// always reusable (the old membership-less cache forgot such pages and could
+// exhaust the pool while free slots existed).
 func (c *Client) freeRootRefSlot(slot layout.Addr) {
 	c.h.Store(slot, 0)
 	c.hit(faultinject.AfterRootRefClear)
 	seg := c.geo.SegmentIndexOf(slot)
-	pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, slot)}
-	st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
-	if int(st.CID) != c.cid || st.State != layout.SegActive {
+	op := c.ownedPageOf(seg, slot)
+	if op == nil {
 		// Not ours (recovery executor freeing a dead client's RootRef): the
 		// slot is in an abandoned page, just leave it cleared — the segment
 		// scan reclaims the page wholesale.
 		return
 	}
-	meta := c.pageMetaAddr(pr)
-	c.h.Store(slot+layout.RootRefPptrOff, c.h.Load(meta+pmFree))
-	c.h.Store(meta+pmFree, slot)
-	info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+	c.h.Store(slot+layout.RootRefPptrOff, op.free)
+	op.free = slot
+	c.h.Store(op.meta+pmFree, slot)
+	info := layout.UnpackPageMeta(op.info)
 	if info.Used > 0 {
 		info.Used--
 	}
-	c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+	op.info = layout.PackPageMeta(info)
+	c.h.Store(op.meta+pmInfo, op.info)
+	if !op.onClassList {
+		op.onClassList = true
+		c.rootPages = append(c.rootPages, op)
+	}
 }
 
 // --- huge objects ---
@@ -449,17 +554,44 @@ func (c *Client) allocHuge(root layout.Addr, dataBytes, embedRefs int) (layout.A
 }
 
 // claimHugeRun claims k contiguous free segments, rolling back on conflict.
-// Returns the first segment index or -1.
+// Returns the first segment index or -1. Like claimSegment, the scan starts
+// at a striped per-client cursor and wraps once.
 func (c *Client) claimHugeRun(k int) int {
-	for start := 0; start+k <= c.geo.NumSegments; start++ {
+	limit := c.geo.NumSegments - k
+	if limit < 0 {
+		return -1
+	}
+	if c.hugeCursor > limit {
+		c.hugeCursor = 0
+	}
+	if s := c.hugeRunScan(c.hugeCursor, limit, k); s >= 0 {
+		c.hugeCursor = s + k
+		return s
+	}
+	if s := c.hugeRunScan(0, c.hugeCursor-1, k); s >= 0 {
+		c.hugeCursor = s + k
+		return s
+	}
+	return -1
+}
+
+// hugeRunScan tries k-segment windows starting in [lo, hi]. A window that
+// conflicts at offset j proves every start in [start, start+j] would include
+// the same busy segment, so the scan resumes at start+j+1 — skipping past
+// the conflict instead of re-CASing segments just seen busy (the old
+// start+1 retry cost O(N·k) under fragmentation).
+func (c *Client) hugeRunScan(lo, hi, k int) int {
+	start := lo
+	for start <= hi {
 		claimed := 0
+		conflict := 0
 		ok := true
 		for j := 0; j < k; j++ {
 			a := c.geo.SegStateAddr(start + j)
 			w := c.h.Load(a)
 			st := layout.UnpackSegState(w)
 			if st.State != layout.SegFree {
-				ok = false
+				ok, conflict = false, j
 				break
 			}
 			state := uint8(layout.SegHugeBody)
@@ -470,7 +602,7 @@ func (c *Client) claimHugeRun(k int) int {
 				CID: uint16(c.cid), Version: st.Version + 1, State: state,
 			})
 			if !c.h.CAS(a, w, nw) {
-				ok = false
+				ok, conflict = false, j
 				break
 			}
 			claimed++
@@ -479,20 +611,26 @@ func (c *Client) claimHugeRun(k int) int {
 		if ok {
 			return start
 		}
-		// Rollback: release the prefix we claimed.
+		// Rollback: release the prefix we claimed, then skip past the
+		// conflicting index.
 		for j := 0; j < claimed; j++ {
 			c.releaseSegment(start + j)
 		}
+		start += conflict + 1
 	}
 	return -1
 }
 
 // releaseSegment returns an owned segment to the free pool, bumping the
-// version to defeat ABA on future claims.
+// version to defeat ABA on future claims, and publishes the free-segment
+// hint so the next claimer skips its scan. Live clients never release their
+// active (shadowed) segments — this runs on huge-run rollbacks, huge frees,
+// and dead owners' segments — so no shadow needs invalidating.
 func (c *Client) releaseSegment(i int) {
 	a := c.geo.SegStateAddr(i)
 	st := layout.UnpackSegState(c.h.Load(a))
 	c.h.Store(a, layout.PackSegState(layout.SegState{
 		Version: st.Version + 1, State: layout.SegFree,
 	}))
+	c.h.Store(c.geo.SegFreeHintAddr(), uint64(i)+1)
 }

@@ -26,11 +26,20 @@ type Client struct {
 
 	// classPages[c] lists this client's pages of size class c that may have
 	// free blocks. rootPages lists its RootRef pages. Local caches only:
-	// recovery reconstructs everything from segment metadata.
-	classPages [][]pageRef
-	rootPages  []pageRef
-	// segments lists owned segment indices (local cache).
-	segments []int
+	// recovery reconstructs everything from segment metadata (shadow.go).
+	classPages [][]*ownedPage
+	rootPages  []*ownedPage
+	// owned lists the shadows of owned segments in claim order; ownedBySeg
+	// indexes them for the free path's ownership test (no device load).
+	owned     []*ownedSeg
+	ownedBySeg map[int]*ownedSeg
+	// segCursor/hugeCursor stripe claim scans across clients so they do not
+	// all CAS-contend on the lowest free segments (alloc.go).
+	segCursor  int
+	hugeCursor int
+	// queues caches per-queue geometry and Vyukov-style head/tail indices
+	// (queue.go); device words stay authoritative, rebuilt on reconnect.
+	queues map[layout.Addr]*queueShadow
 
 	// fi is the crash injector (nil in production).
 	fi *faultinject.Injector
@@ -96,9 +105,16 @@ func (p *Pool) Connect() (*Client, error) {
 		h:          p.dev.Open(cid),
 		cid:        cid,
 		eraRow:     make([]uint32, geo.MaxClients+1),
-		classPages: make([][]pageRef, len(geo.Classes)),
+		classPages: make([][]*ownedPage, len(geo.Classes)),
+		ownedBySeg: make(map[int]*ownedSeg),
+		queues:     make(map[layout.Addr]*queueShadow),
 		mx:         p.obs.Shard(cid),
 	}
+	// Stripe claim-scan start positions by client ID so concurrent claimers
+	// spread across the Global Segment Allocation Vec instead of CAS-fighting
+	// over its lowest entries.
+	c.segCursor = ((cid - 1) * geo.NumSegments) / geo.MaxClients
+	c.hugeCursor = c.segCursor
 	// Continue the era sequence of the previous incarnation; start at 1 on a
 	// fresh slot (era 0 never appears in a committed header, so the all-zero
 	// matrix can't satisfy recovery's Condition 2 spuriously).

@@ -143,7 +143,7 @@ func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim bool) (newC
 			// Plain object: reclaim inside the transaction window. A crash
 			// here is covered by the still-valid redo entry (recovery flags
 			// the segment, §5.3).
-			c.reclaimRaw(refed)
+			c.reclaimRaw(refed, m)
 		default:
 			// Embed-carrying object: the cascade needs its own transactions,
 			// so flag the segment before this transaction closes; the caller

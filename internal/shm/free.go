@@ -100,7 +100,7 @@ func (c *Client) cascadeFree(start layout.Addr) {
 				stack = append(stack, t)
 			}
 		}
-		c.reclaimRaw(b)
+		c.reclaimRaw(b, m)
 	}
 }
 
@@ -115,8 +115,9 @@ func (c *Client) cascadeFree(start layout.Addr) {
 // it only once the recorded freeer is dead — at which point the freeer is
 // RAS-fenced, so its own late push can never land and double-insert the
 // block.
-func (c *Client) reclaimRaw(block layout.Addr) {
-	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+// The caller passes the block's unpacked meta (it always has it in hand from
+// the release transaction), saving the re-load here.
+func (c *Client) reclaimRaw(block layout.Addr, m layout.Meta) {
 	if m.Flags&layout.MetaHuge != 0 {
 		c.freeHuge(block, m)
 		return
@@ -132,20 +133,20 @@ func (c *Client) reclaimRaw(block layout.Addr) {
 	}))
 	c.hit(faultinject.AfterMetaFree)
 
-	st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
-	if int(st.CID) == c.cid && st.State == layout.SegActive {
-		// Owner-local free.
-		pr := pageRef{seg: seg, page: c.geo.PageIndexOf(seg, block)}
-		meta := c.pageMetaAddr(pr)
-		c.h.Store(block+freeNextOff, c.h.Load(meta+pmFree))
-		c.h.Store(meta+pmFree, block)
-		info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+	if op := c.ownedPageOf(seg, block); op != nil {
+		// Owner-local free: ownership and all page words come from the
+		// shadow (shadow.go), written through at the same points as before.
+		c.h.Store(block+freeNextOff, op.free)
+		op.free = block
+		c.h.Store(op.meta+pmFree, block)
+		info := layout.UnpackPageMeta(op.info)
 		if info.Used > 0 {
 			info.Used--
 		}
-		c.h.Store(meta+pmInfo, layout.PackPageMeta(info))
+		op.info = layout.PackPageMeta(info)
+		c.h.Store(op.meta+pmInfo, op.info)
 		if info.Kind == layout.PageKindNormal {
-			c.readdClassPage(int(info.SizeClass), pr)
+			c.readdClassPage(int(info.SizeClass), op)
 		}
 	} else {
 		// Cross-client deferred free: push onto the segment's client_free

@@ -14,6 +14,10 @@ type Config struct {
 	Geometry layout.GeometryConfig
 	// Latency optionally enables the device latency model.
 	Latency cxl.Latency
+	// CountAccesses enables the device's per-access statistics (loads,
+	// stores, CAS). Used by the fast-path benchmarks to count device-word
+	// round trips per operation; keep off for throughput runs.
+	CountAccesses bool
 }
 
 // Pool is a formatted CXL-SHM shared memory pool: the device plus its
@@ -43,9 +47,10 @@ func NewPool(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	dev, err := cxl.NewDevice(cxl.Config{
-		Words:      int(geo.TotalWords),
-		MaxClients: geo.MaxClients + 1, // +1: the recovery service connects as a client too
-		Latency:    cfg.Latency,
+		Words:         int(geo.TotalWords),
+		MaxClients:    geo.MaxClients + 1, // +1: the recovery service connects as a client too
+		Latency:       cfg.Latency,
+		CountAccesses: cfg.CountAccesses,
 	})
 	if err != nil {
 		return nil, err

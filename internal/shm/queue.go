@@ -27,6 +27,47 @@ import (
 // Queues are registered in the pool's queue registry so the recovery
 // service and late-joining receivers can discover them.
 
+// queueShadow caches one queue's fixed geometry plus Vyukov-style cached
+// indices. The client's own end (tail for the sender, head for the receiver)
+// is exact — it is single-writer and written through on every advance. The
+// opposite end may lag behind the device: it is re-read only when the cached
+// values make the queue look full (sender) or empty (receiver). A stale-low
+// opposite index can only cause a spurious full/empty verdict — never an
+// out-of-window slot access — so the re-read-on-miss repair is sufficient.
+// Device words stay authoritative; recovery reads only the device.
+type queueShadow struct {
+	capacity     int
+	headA, tailA layout.Addr
+	head, tail   uint64
+}
+
+// queueShadowOf returns (building on first use) the shadow for a queue
+// block. The indices are seeded from the device, so a reconnecting client
+// resumes exactly where its previous incarnation published.
+func (c *Client) queueShadowOf(block layout.Addr) *queueShadow {
+	if qs := c.queues[block]; qs != nil {
+		return qs
+	}
+	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+	capacity := int(m.EmbedCnt)
+	qs := &queueShadow{
+		capacity: capacity,
+		headA:    queueHeadAddr(block, capacity),
+		tailA:    queueTailAddr(block, capacity),
+	}
+	qs.head = c.h.Load(qs.headA)
+	qs.tail = c.h.Load(qs.tailA)
+	c.queues[block] = qs
+	return qs
+}
+
+// dropQueueShadow forgets a cached queue at a legitimate lifecycle boundary
+// (the block was just created or opened, so any old cache under the same
+// address belongs to a freed, recycled queue).
+func (c *Client) dropQueueShadow(block layout.Addr) {
+	delete(c.queues, block)
+}
+
 // queue data-area offsets relative to the block address.
 func queueSlot(block layout.Addr, capacity int, i uint64) layout.Addr {
 	return block + layout.DataOff + layout.Addr(i%uint64(capacity))
@@ -102,6 +143,7 @@ func (c *Client) CreateQueueBetween(senderCID, receiverCID, capacity int) (root,
 	c.h.Store(queueInfoAddr(block, capacity), packQueueInfo(senderCID, receiverCID, reg))
 	c.h.Store(queueHeadAddr(block, capacity), 0)
 	c.h.Store(queueTailAddr(block, capacity), 0)
+	c.dropQueueShadow(block)
 	return root, block, nil
 }
 
@@ -137,6 +179,7 @@ func (c *Client) FindQueueFrom(senderCID int) layout.Addr {
 // existing queue block, so the queue object outlives either endpoint alone.
 // Receivers must call this before their first Receive.
 func (c *Client) OpenQueue(block layout.Addr) (root layout.Addr, err error) {
+	c.dropQueueShadow(block)
 	return c.AttachRoot(block)
 }
 
@@ -145,22 +188,68 @@ func (c *Client) OpenQueue(block layout.Addr) (root layout.Addr, err error) {
 // transaction — incrementing its count — then advance the tail, which is the
 // atomic ownership-transfer point.
 func (c *Client) Send(block layout.Addr, target layout.Addr) error {
-	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
-	capacity := int(m.EmbedCnt)
-	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
-	head, tail := c.h.Load(headA), c.h.Load(tailA)
-	if tail-head >= uint64(capacity) {
-		c.loc[obs.CtrQueueFull]++
-		return ErrQueueFull
+	qs := c.queueShadowOf(block)
+	if qs.tail-qs.head >= uint64(qs.capacity) {
+		// Apparent full: re-read the receiver's head (the one word another
+		// client advances) before giving up.
+		qs.head = c.h.Load(qs.headA)
+		if qs.tail-qs.head >= uint64(qs.capacity) {
+			c.loc[obs.CtrQueueFull]++
+			return ErrQueueFull
+		}
 	}
-	slot := queueSlot(block, capacity, tail)
+	slot := queueSlot(block, qs.capacity, qs.tail)
 	if err := c.AttachReference(slot, target); err != nil {
 		return err
 	}
 	c.hit(faultinject.AfterSendAttach)
-	c.h.Store(tailA, tail+1)
+	qs.tail++
+	c.h.Store(qs.tailA, qs.tail)
 	c.loc[obs.CtrQueueSend]++
 	return nil
+}
+
+// SendBatch transfers up to len(targets) references, publishing the tail
+// once for the whole batch instead of once per reference. It returns how
+// many were sent: short counts mean the queue filled up (no error), so
+// callers retry the remainder later. Crash semantics match single Send: a
+// reference attached to a slot before the tail store is owned by the queue
+// object and reclaimed through its embedded-reference cascade.
+func (c *Client) SendBatch(block layout.Addr, targets []layout.Addr) (int, error) {
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	qs := c.queueShadowOf(block)
+	free := uint64(qs.capacity) - (qs.tail - qs.head)
+	if free < uint64(len(targets)) {
+		qs.head = c.h.Load(qs.headA)
+		free = uint64(qs.capacity) - (qs.tail - qs.head)
+	}
+	n := len(targets)
+	if uint64(n) > free {
+		n = int(free)
+	}
+	if n == 0 {
+		c.loc[obs.CtrQueueFull]++
+		return 0, ErrQueueFull
+	}
+	publish := func(sent int) {
+		if sent > 0 {
+			qs.tail += uint64(sent)
+			c.h.Store(qs.tailA, qs.tail)
+			c.loc[obs.CtrQueueSend] += uint64(sent)
+		}
+	}
+	for i := 0; i < n; i++ {
+		slot := queueSlot(block, qs.capacity, qs.tail+uint64(i))
+		if err := c.AttachReference(slot, targets[i]); err != nil {
+			publish(i)
+			return i, err
+		}
+		c.hit(faultinject.AfterSendAttach)
+	}
+	publish(n)
+	return n, nil
 }
 
 // Receive takes the next reference from the queue (paper cxl_receive_from):
@@ -168,21 +257,26 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 // advance the head. Returns the receiver's new RootRef and the object
 // address, or ErrQueueEmpty.
 func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error) {
-	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
-	capacity := int(m.EmbedCnt)
-	headA, tailA := queueHeadAddr(block, capacity), queueTailAddr(block, capacity)
-	head, tail := c.h.Load(headA), c.h.Load(tailA)
-	if head == tail {
-		c.loc[obs.CtrQueueEmpty]++
-		return 0, 0, ErrQueueEmpty
+	qs := c.queueShadowOf(block)
+	if qs.head == qs.tail {
+		// Apparent empty: re-read the sender's tail before giving up.
+		qs.tail = c.h.Load(qs.tailA)
+		if qs.head == qs.tail {
+			c.loc[obs.CtrQueueEmpty]++
+			return 0, 0, ErrQueueEmpty
+		}
 	}
-	slot := queueSlot(block, capacity, head)
+	slot := queueSlot(block, qs.capacity, qs.head)
 	target = c.h.Load(slot)
 	if target == 0 {
-		// The slot was already released (we died after releasing but before
-		// advancing the head last time, and recovery replayed): just advance.
-		c.h.Store(headA, head+1)
-		c.loc[obs.CtrQueueEmpty]++
+		// The slot was already released (the previous incarnation died after
+		// releasing but before advancing the head, and recovery replayed):
+		// step past it. This is not emptiness — count it separately so
+		// throughput accounting doesn't mistake recovery debris for an idle
+		// queue.
+		qs.head++
+		c.h.Store(qs.headA, qs.head)
+		c.loc[obs.CtrQueueStaleSlot]++
 		return 0, 0, ErrQueueEmpty
 	}
 	root, err = c.allocRootRef()
@@ -198,9 +292,76 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 		return 0, 0, err
 	}
 	c.hit(faultinject.AfterReceiveRelease)
-	c.h.Store(headA, head+1)
+	qs.head++
+	c.h.Store(qs.headA, qs.head)
 	c.loc[obs.CtrQueueReceive]++
 	return root, target, nil
+}
+
+// ReceiveBatch takes up to max references from the queue, publishing the
+// head once for the whole batch. Returns parallel roots/targets slices;
+// ErrQueueEmpty only when nothing (real or stale) could be consumed. A crash
+// mid-batch leaves up to a batch of released-but-unadvanced slots, which the
+// next incarnation steps past exactly like single Receive's stale-slot case.
+func (c *Client) ReceiveBatch(block layout.Addr, max int) (roots, targets []layout.Addr, err error) {
+	if max <= 0 {
+		return nil, nil, nil
+	}
+	qs := c.queueShadowOf(block)
+	avail := qs.tail - qs.head
+	if avail == 0 {
+		qs.tail = c.h.Load(qs.tailA)
+		avail = qs.tail - qs.head
+		if avail == 0 {
+			c.loc[obs.CtrQueueEmpty]++
+			return nil, nil, ErrQueueEmpty
+		}
+	}
+	n := int(avail)
+	if n > max {
+		n = max
+	}
+	consumed := 0
+	publish := func() {
+		if consumed > 0 {
+			qs.head += uint64(consumed)
+			c.h.Store(qs.headA, qs.head)
+		}
+	}
+	for consumed < n {
+		slot := queueSlot(block, qs.capacity, qs.head+uint64(consumed))
+		t := c.h.Load(slot)
+		if t == 0 {
+			consumed++
+			c.loc[obs.CtrQueueStaleSlot]++
+			continue
+		}
+		root, rerr := c.allocRootRef()
+		if rerr != nil {
+			publish()
+			return roots, targets, rerr
+		}
+		if aerr := c.AttachReference(root+layout.RootRefPptrOff, t); aerr != nil {
+			c.abortRootRef(root)
+			publish()
+			return roots, targets, aerr
+		}
+		c.hit(faultinject.AfterReceiveAttach)
+		if _, _, rerr := c.releaseTxn(slot, t); rerr != nil {
+			publish()
+			return roots, targets, rerr
+		}
+		c.hit(faultinject.AfterReceiveRelease)
+		consumed++
+		roots = append(roots, root)
+		targets = append(targets, t)
+		c.loc[obs.CtrQueueReceive]++
+	}
+	publish()
+	if len(roots) == 0 {
+		return nil, nil, ErrQueueEmpty
+	}
+	return roots, targets, nil
 }
 
 // QueueLen reports how many references are in flight in the queue.

@@ -46,14 +46,21 @@ type RedoEntry struct {
 // logRedo records the in-flight transaction (line 8 of Figure 4(c)). Field
 // stores precede the valid-bit store so a torn entry is never observed as
 // valid; all device accesses are sequentially consistent.
+//
+// Words 5 and 6 (refed2/saved2) carry the second object of a change
+// transaction and are consumed by recovery's replay only when the entry's op
+// is OpChange — so attach/release entries skip those two stores, and any
+// stale words 5/6 left from an older change entry are dead data.
 func (c *Client) logRedo(e RedoEntry) {
 	base := c.geo.ClientRedoBase(c.cid)
 	c.h.Store(base+1, uint64(e.Era))
 	c.h.Store(base+2, e.Ref)
 	c.h.Store(base+3, e.Refed)
 	c.h.Store(base+4, uint64(e.SavedCnt))
-	c.h.Store(base+5, e.Refed2)
-	c.h.Store(base+6, uint64(e.SavedCnt2))
+	if e.Op == OpChange {
+		c.h.Store(base+5, e.Refed2)
+		c.h.Store(base+6, uint64(e.SavedCnt2))
+	}
 	c.h.Store(base, redoValidBit|uint64(e.Op))
 }
 

@@ -189,7 +189,7 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 				// scanner itself.
 				if relink {
 					c.h.Store(slot+layout.RootRefPptrOff, c.h.Load(metaA+pmFree))
-					c.h.Store(metaA+pmFree, slot)
+					c.storePMFree(seg, metaA, slot)
 					onList[slot] = struct{}{}
 					r.Relinked++
 				}
@@ -229,7 +229,7 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 						// round; the relink round handles lost blocks.
 					case freeer == c.cid || c.pool.ClientDeadOrRecovered(freeer):
 						c.h.Store(b+freeNextOff, c.h.Load(metaA+pmFree))
-						c.h.Store(metaA+pmFree, b)
+						c.storePMFree(seg, metaA, b)
 						onList[b] = struct{}{}
 						r.Relinked++
 					default:
@@ -273,11 +273,11 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 // from the allocation slow path, so its cost amortizes exactly as the paper
 // argues ("doesn't need to be performed more than once per second").
 func (c *Client) scanFlaggedOwned() {
-	for _, seg := range c.segments {
-		st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(seg)))
+	for _, os := range c.owned {
+		st := layout.UnpackSegState(c.h.Load(c.geo.SegStateAddr(os.seg)))
 		if int(st.CID) == c.cid && st.State == layout.SegActive &&
 			st.Flags&layout.SegFlagPotentialLeaking != 0 {
-			c.ScanSegment(seg, false)
+			c.ScanSegment(os.seg, false)
 		}
 	}
 }

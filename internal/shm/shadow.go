@@ -1,0 +1,133 @@
+package shm
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Owner-local metadata shadow cache.
+//
+// The paper's fast-path argument (§3.3, §5.1) is that allocation needs no
+// cross-client synchronization because each client owns its segments
+// exclusively. The original implementation still re-read the owner-exclusive
+// words (page meta pmInfo/pmFree/pmScan, the segment next-page counter) from
+// the device on every operation — round trips that CXL access latency makes
+// expensive. This file adds a client-side shadow of exactly those words with
+// a strict write-through discipline:
+//
+//   - The device words stay authoritative. Every mutation stores the new
+//     value to the device at the same program point the old code did, so the
+//     §5.1 ordering (link → fence → advance) is unchanged on the device.
+//   - Only reads are elided: an owner-exclusive word is written by one
+//     client only (deferred frees from other clients go through the
+//     segment's client_free CAS list, never the page meta), so the shadow
+//     can never go stale while the client lives.
+//   - Recovery and validation never look at a shadow: a crash loses the
+//     cache and recovery reconstructs everything from device words alone.
+//     A RAS-fenced client's shadow may diverge (its stores are dropped),
+//     which is harmless for the same reason — nothing it does is visible.
+//
+// The shadow also carries the O(1) page-membership flag (onClassList) that
+// replaces readdClassPage's linear scan, and fixes a latent exhaustion bug:
+// a temporarily-full page popped from the class/RootRef cache is now
+// re-added the moment one of its blocks comes back.
+
+// ownedPage is the client-side shadow of one owned page: the pageRef, the
+// device address of its meta area, mirrors of the three meta words, and the
+// class-cache membership flag.
+type ownedPage struct {
+	pr   pageRef
+	meta layout.Addr // device address of the page's meta area
+	info uint64      // shadow of meta+pmInfo (packed PageMeta)
+	free uint64      // shadow of meta+pmFree (free-list head)
+	scan uint64      // shadow of meta+pmScan (bump pointer)
+	// onClassList marks the page as present in classPages[class] (normal
+	// pages) or rootPages (RootRef pages), making re-adds O(1).
+	onClassList bool
+}
+
+// ownedSeg is the client-side shadow of one owned segment: the claimed-page
+// counter and the pages claimed so far.
+type ownedSeg struct {
+	seg      int
+	nextPage int          // shadow of the segment's next-page counter
+	pages    []*ownedPage // indexed by page number; nil beyond nextPage
+}
+
+// ownedSegOf returns the shadow for seg if this client owns it, else nil.
+// This replaces the SegState device load on the free fast path: a segment
+// enters the map at claimSegment and never leaves while the client lives
+// (live clients never release active segments).
+func (c *Client) ownedSegOf(seg int) *ownedSeg {
+	return c.ownedBySeg[seg]
+}
+
+// ownedPageOf returns the shadow for the page containing addr, or nil when
+// the address is not in an owned, claimed page.
+func (c *Client) ownedPageOf(seg int, addr layout.Addr) *ownedPage {
+	os := c.ownedBySeg[seg]
+	if os == nil {
+		return nil
+	}
+	pg := c.geo.PageIndexOf(seg, addr)
+	if pg < 0 || pg >= len(os.pages) {
+		return nil
+	}
+	return os.pages[pg]
+}
+
+// storePMFree writes a page's free-list head word, keeping the shadow
+// coherent when the page is owned. Cold paths that may touch either owned or
+// foreign pages (the segment-local scan's relink rounds) must go through
+// this instead of a raw store.
+func (c *Client) storePMFree(seg int, metaA layout.Addr, v uint64) {
+	c.h.Store(metaA+pmFree, v)
+	if os := c.ownedBySeg[seg]; os != nil {
+		// metaA identifies the page by its meta address, not a data address;
+		// recover the page index from the meta-area offset.
+		pg := int((metaA - c.geo.PageMetaAddr(seg, 0)) / layout.Addr(layout.PageMetaWords))
+		if pg >= 0 && pg < len(os.pages) && os.pages[pg] != nil {
+			os.pages[pg].free = v
+		}
+	}
+}
+
+// CheckShadow verifies every cached word against the device, returning the
+// first mismatch. The shadow is an optimization, never a source of truth;
+// tests call this after workloads and crash-recovery drills to prove the
+// write-through discipline holds. Must not be called on a fenced client
+// (dropped stores make divergence expected and harmless there).
+func (c *Client) CheckShadow() error {
+	for _, os := range c.owned {
+		np := int(c.h.Load(c.geo.SegNextPageAddr(os.seg)))
+		if np != os.nextPage {
+			return fmt.Errorf("shm: shadow seg %d next-page %d, device %d", os.seg, os.nextPage, np)
+		}
+		for pg, op := range os.pages {
+			if op == nil {
+				continue
+			}
+			if got := c.h.Load(op.meta + pmInfo); got != op.info {
+				return fmt.Errorf("shm: shadow seg %d page %d info %#x, device %#x", os.seg, pg, op.info, got)
+			}
+			if got := c.h.Load(op.meta + pmFree); got != op.free {
+				return fmt.Errorf("shm: shadow seg %d page %d free %#x, device %#x", os.seg, pg, op.free, got)
+			}
+			if got := c.h.Load(op.meta + pmScan); got != op.scan {
+				return fmt.Errorf("shm: shadow seg %d page %d scan %#x, device %#x", os.seg, pg, op.scan, got)
+			}
+		}
+	}
+	for block, qs := range c.queues {
+		// The client's own end is exact; the opposite end may lag (it is
+		// re-read only on apparent full/empty), so cached <= device.
+		if dev := c.h.Load(qs.headA); qs.head > dev {
+			return fmt.Errorf("shm: queue %#x cached head %d ahead of device %d", block, qs.head, dev)
+		}
+		if dev := c.h.Load(qs.tailA); qs.tail > dev {
+			return fmt.Errorf("shm: queue %#x cached tail %d ahead of device %d", block, qs.tail, dev)
+		}
+	}
+	return nil
+}
