@@ -4,7 +4,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-fastpath bench-smoke
+.PHONY: all build test vet race verify bench bench-fastpath bench-smoke \
+	test-mmap ci
 
 all: verify
 
@@ -27,6 +28,22 @@ bench-smoke:
 	$(GO) test -race -run xxx -bench 'BenchmarkAlloc$$|BenchmarkMallocFree|BenchmarkQueueTransfer|BenchmarkQueueBatch' -benchtime 10x .
 
 verify: vet build test race bench-smoke
+
+# test-mmap re-runs the core packages with every pool on the mmap'd-file
+# backend (cxl.MapDevice over an unlinked temp file), the recovery crash
+# matrix included, plus a short fault-injection campaign.
+test-mmap:
+	CXLSHM_BACKEND=mmap $(GO) test ./internal/shm ./internal/recovery ./internal/check ./internal/alloc .
+	CXLSHM_BACKEND=mmap $(GO) test -run TestRecoverEveryCrashPoint ./internal/recovery
+	$(GO) run ./cmd/faultsim -trials 50 -backend mmap
+
+# ci is the continuous-integration gate (.github/workflows/ci.yml): vet,
+# tier-1 build+test, a race pass over the fast-path and queue tests on both
+# backends, and the mmap-backend suite.
+ci: vet build test
+	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
+	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
+	$(MAKE) test-mmap
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .

@@ -1,13 +1,20 @@
 // Command cxlsnap demonstrates that the pool's contents outlive every
 // client process (the device has its own power supply — paper Figure 1):
-// it builds a shared KV store, simulates total client loss, writes the raw
-// device image to a file, and in a later invocation attaches the image,
-// recovers the stale clients, and reads the data back.
+// it builds a shared KV store, simulates total client loss, persists the
+// pool, and in a later invocation (any process) attaches it, recovers the
+// stale clients, and reads the data back.
 //
-// Usage:
+// Two persistence modes:
 //
-//	cxlsnap -create pool.img -keys 500     # first "boot": populate and save
-//	cxlsnap -open pool.img                 # later "boot": attach and verify
+//	cxlsnap -create pool.img -keys 500     # copy mode: snapshot image file
+//	cxlsnap -create pool.cxl -mmap         # live mode: the file IS the pool
+//	cxlsnap -open  pool.img|pool.cxl       # later "boot": attach and verify
+//
+// In -mmap mode the pool is built directly on an mmap'd cxl.MapDevice file:
+// nothing is copied at save or attach time, and a second OS process opening
+// the same file sees the pool alive and unmoved. -open sniffs the format.
+// Either way the attach validates the pool superblock (magic, geometry,
+// layout version) and refuses incompatible pools with a clear error.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/check"
+	"repro/internal/cxl"
 	"repro/internal/kv"
 	"repro/internal/layout"
 	"repro/internal/recovery"
@@ -27,14 +35,15 @@ import (
 const imageMagic = 0x43584C534E415031 // "CXLSNAP1"
 
 func main() {
-	create := flag.String("create", "", "create a pool, populate it, save the image to this file")
-	open := flag.String("open", "", "attach a saved image, recover, and verify")
+	create := flag.String("create", "", "create a pool, populate it, save it to this file")
+	open := flag.String("open", "", "attach a saved pool (image or mmap file), recover, and verify")
+	mmap := flag.Bool("mmap", false, "with -create: back the pool with the file itself (no-copy, cross-process)")
 	keys := flag.Int("keys", 500, "keys to store")
 	flag.Parse()
 
 	switch {
 	case *create != "":
-		if err := doCreate(*create, *keys); err != nil {
+		if err := doCreate(*create, *keys, *mmap); err != nil {
 			fail(err)
 		}
 	case *open != "":
@@ -47,10 +56,14 @@ func main() {
 	}
 }
 
-func doCreate(path string, keys int) error {
-	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+func doCreate(path string, keys int, mmap bool) error {
+	cfg := shm.Config{Geometry: layout.GeometryConfig{
 		MaxClients: 8, NumSegments: 64, SegmentWords: 1 << 14, PageWords: 1 << 10,
-	}})
+	}}
+	if mmap {
+		cfg.File = path
+	}
+	pool, err := shm.NewPool(cfg)
 	if err != nil {
 		return err
 	}
@@ -70,7 +83,19 @@ func doCreate(path string, keys int) error {
 		}
 	}
 	fmt.Printf("stored %d keys; client %d now 'loses power' without releasing anything\n", keys, c.ID())
-	// No Close, no Release: the image captures the mess as-is.
+	// No Close, no Release: the pool captures the mess as-is.
+	if mmap {
+		if md, ok := cxl.Bottom(pool.Device()).(*cxl.MapDevice); ok {
+			if err := md.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := pool.CloseDevice(); err != nil {
+			return err
+		}
+		fmt.Printf("pool lives in %s (mmap'd, nothing copied)\n", path)
+		return nil
+	}
 	img := pool.Snapshot()
 	if err := writeImage(path, img); err != nil {
 		return err
@@ -79,12 +104,31 @@ func doCreate(path string, keys int) error {
 	return nil
 }
 
-func doOpen(path string) error {
-	img, err := readImage(path)
+// attach opens path as whichever pool format it holds: a snapshot image
+// (copy restored into a heap device) or a cxl.MapDevice file (mapped alive,
+// no copy). Both paths validate the pool superblock before use.
+func attach(path string) (*shm.Pool, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	pool, err := shm.AttachSnapshot(img)
+	hdr := make([]byte, 8)
+	_, rerr := io.ReadFull(f, hdr)
+	f.Close()
+	if rerr == nil && binary.LittleEndian.Uint64(hdr) == imageMagic {
+		img, err := readImage(path)
+		if err != nil {
+			return nil, err
+		}
+		return shm.AttachSnapshot(img)
+	}
+	// Not a snapshot image: try the live mmap format (OpenFile reports a
+	// clear error if it is neither).
+	return shm.OpenFile(path)
+}
+
+func doOpen(path string) error {
+	pool, err := attach(path)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	faultsim [-trials N] [-seed S] [-systematic]
+//	faultsim [-trials N] [-seed S] [-systematic] [-backend heap|mmap]
+//
+// -backend mmap runs every trial on an mmap'd-file device (cxl.MapDevice),
+// exercising crash recovery over the cross-process backend's data path.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	systematic := flag.Bool("systematic", false, "also crash at every occurrence of every crash point")
 	metrics := flag.Bool("metrics", false, "collect pool metrics; write FAULTSIM_metrics.json and print a summary")
+	flag.StringVar(&backend, "backend", "", "device backend per trial: heap (default) or mmap")
 	flag.Parse()
 	if *metrics {
 		obs.EnableGlobal()
@@ -73,10 +77,16 @@ func main() {
 	}
 }
 
+// backend selects the per-trial device backend (-backend flag).
+var backend string
+
 func newPool() (*shm.Pool, error) {
-	return shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
-		MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 8,
-	}})
+	return shm.NewPool(shm.Config{
+		Geometry: layout.GeometryConfig{
+			MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 8,
+		},
+		Backend: backend,
+	})
 }
 
 // workload mirrors the recovery test scenario: every crash point is
@@ -205,6 +215,7 @@ func runTrial(seed int64) (crashed bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	defer p.CloseDevice()
 	x, err := p.Connect()
 	if err != nil {
 		return false, err
@@ -284,6 +295,7 @@ func runSystematic() (int, error) {
 			var werr error
 			crash := faultinject.Run(func() { oRoots, werr = workload(x, o) })
 			if crash == nil {
+				p.CloseDevice()
 				if werr != nil {
 					return positions, werr
 				}
@@ -309,6 +321,7 @@ func runSystematic() (int, error) {
 			if !res.Clean() || res.AllocatedObjects != 0 {
 				return positions, fmt.Errorf("%s occurrence %d: validation failed", pt, occ)
 			}
+			p.CloseDevice()
 			if occ > 200 {
 				return positions, fmt.Errorf("%s: runaway occurrence count", pt)
 			}

@@ -93,6 +93,17 @@ type Config struct {
 	FlushCostNS int
 	// FenceCostNS optionally charges each allocation-path fence.
 	FenceCostNS int
+
+	// PoolFile, when set, backs the pool with an mmap'd file at this path
+	// (must not already exist). The pool then survives this process: any
+	// other process — or a later run — reopens it alive, no copy, with
+	// Attach. Requires a POSIX platform.
+	PoolFile string
+	// Backend selects the device backend: "" or "heap" for process memory,
+	// "mmap" for an unlinked temporary file through the mmap data path
+	// (useful to exercise the cross-process backend in tests; the
+	// CXLSHM_BACKEND environment variable sets the same default globally).
+	Backend string
 }
 
 // Pool is a shared memory pool plus its recovery machinery.
@@ -100,6 +111,14 @@ type Pool struct {
 	p   *shm.Pool
 	svc *recovery.Service
 	mon *recovery.Monitor
+	// stale is the set of leftover clients recorded at Attach time, before
+	// this incarnation connected anything of its own.
+	stale []int
+	// closeDev marks pools explicitly tied to a file (PoolFile, Attach):
+	// for those, Close unmaps the device. Pools on process-lifetime
+	// backends (heap, env-selected anon mmap) stay usable after Close —
+	// the documented contract — and are reclaimed with the process.
+	closeDev bool
 }
 
 // NewPool creates and formats a pool, and connects its recovery service.
@@ -127,6 +146,8 @@ func NewPool(cfg Config) (*Pool, error) {
 			MaxQueues:    cfg.MaxQueues,
 		},
 		Latency: lat,
+		File:    cfg.PoolFile,
+		Backend: cfg.Backend,
 	})
 	if err != nil {
 		return nil, err
@@ -135,8 +156,38 @@ func NewPool(cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{p: p, svc: svc}, nil
+	return &Pool{p: p, svc: svc, closeDev: cfg.PoolFile != ""}, nil
 }
+
+// Attach reopens the pool file at path (created by a NewPool with
+// Config.PoolFile, possibly by another OS process, possibly one that
+// crashed). The pool comes back alive and unmoved — the mmap'd file *is*
+// the device, exactly the paper's independent-failure-domain story. The
+// superblock (magic, geometry, layout version) is validated before
+// anything is touched. Clients of the previous owner that never exited
+// cleanly are listed by StaleClients; Recover each before connecting new
+// clients.
+func Attach(path string) (*Pool, error) {
+	p, err := shm.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Record the leftovers before this incarnation connects anything (the
+	// recovery service below takes a client slot of its own, which must not
+	// end up in the stale set).
+	stale := p.StaleClients()
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		p.CloseDevice()
+		return nil, err
+	}
+	return &Pool{p: p, svc: svc, stale: stale, closeDev: true}, nil
+}
+
+// StaleClients lists client IDs left alive or dead by a previous
+// incarnation of an attached pool (recorded at Attach time). Hand each to
+// Recover before connecting new clients.
+func (p *Pool) StaleClients() []int { return p.stale }
 
 // Connect joins the pool as a new client. Each client must be used from a
 // single goroutine (the paper's one-client-per-thread model).
@@ -182,12 +233,19 @@ func (p *Pool) Maintain() {
 	mon.Tick()
 }
 
-// Close stops the monitor (if started). The pool itself is garbage-collected
-// memory; nothing else to release.
+// Close stops the monitor (if started). For a file-backed pool (PoolFile,
+// Attach) it also unmaps the file — the pool itself survives in it and can
+// be re-Attached later; such a pool must not be used after Close. Pools on
+// process-lifetime backends remain usable (they are reclaimed with the
+// process).
 func (p *Pool) Close() {
 	if p.mon != nil {
 		p.mon.Stop()
 		p.mon = nil
+	}
+	if p.closeDev {
+		p.closeDev = false
+		p.p.CloseDevice()
 	}
 }
 

@@ -3,11 +3,19 @@
 // up. The monitor detects the death and the recovery service reclaims
 // everything the dead client possessed — without blocking the survivor,
 // whose reference stays valid throughout.
+//
+// With -pool the scenario runs across two real OS processes on an mmap'd
+// pool file — a genuine process death, not a simulated one:
+//
+//	failure -pool /tmp/demo.cxl    # run 1: victim allocates, publishes, dies
+//	failure -pool /tmp/demo.cxl    # run 2: attach, recover, verify
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	cxlshm "repro"
@@ -15,6 +23,17 @@ import (
 )
 
 func main() {
+	poolFile := flag.String("pool", "", "run the scenario across two processes on this mmap'd pool file")
+	flag.Parse()
+	if *poolFile != "" {
+		if _, err := os.Stat(*poolFile); os.IsNotExist(err) {
+			crossProcessVictim(*poolFile)
+		} else {
+			crossProcessRecover(*poolFile)
+		}
+		return
+	}
+
 	pool, err := cxlshm.NewPool(cxlshm.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -98,4 +117,89 @@ func main() {
 		log.Fatal("pool not clean after recovery")
 	}
 	fmt.Println("OK: partial failure fully recovered, nothing leaked")
+}
+
+// crossProcessVictim is run 1 of the two-process scenario: create the pool
+// on an mmap'd file, allocate a pile of objects, publish one at a named
+// root, and exit without releasing anything — this process really dies.
+func crossProcessVictim(path string) {
+	pool, err := cxlshm.NewPool(cxlshm.Config{PoolFile: path})
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := victim.Malloc(48, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	shared, err := victim.Malloc(64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared.Write(0, []byte("I must survive the crash"))
+	// Publish at a well-known root so the next process can find it; the
+	// root's reference keeps it alive independent of the (dying) victim.
+	if err := victim.PublishRoot(0, shared); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim (client %d, pid %d) holds 1001 objects in %s\n", victim.ID(), os.Getpid(), path)
+	fmt.Println("victim process now dies without releasing anything — run again to recover")
+	// No Close, no Release, no unmap-sync ceremony: the process just exits.
+	// MAP_SHARED writes are already in the kernel's page cache; the pool
+	// file holds everything, mid-mess, exactly as the device would.
+}
+
+// crossProcessRecover is run 2: a fresh process attaches the pool file
+// alive (no copy), recovers the dead process's client, and verifies the
+// published object survived while everything unreachable was reclaimed.
+func crossProcessRecover(path string) {
+	pool, err := cxlshm.Attach(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	stale := pool.StaleClients()
+	fmt.Printf("pid %d attached %s: %d stale client(s) from the dead process\n", os.Getpid(), path, len(stale))
+	for _, cid := range stale {
+		if err := pool.Recover(cid); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  recovered client %d\n", cid)
+	}
+
+	survivor, err := pool.Connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := survivor.OpenRoot(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 24)
+	ref.Read(0, buf)
+	fmt.Printf("survivor (new process) reads: %q\n", buf)
+
+	if _, err := ref.Release(); err != nil {
+		log.Fatal(err)
+	}
+	if err := survivor.UnpublishRoot(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := survivor.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := pool.Recover(survivor.ID()); err != nil {
+		log.Fatal(err)
+	}
+	pool.Maintain()
+	res := check.Validate(pool.Internal())
+	fmt.Printf("audit: %d live objects, %d issues\n", res.AllocatedObjects, len(res.Issues))
+	if !res.Clean() || res.AllocatedObjects != 0 {
+		log.Fatal("pool not clean after cross-process recovery")
+	}
+	fmt.Println("OK: the crash crossed a process boundary and nothing leaked")
 }

@@ -36,11 +36,11 @@ func Table1(scale Scale) ([]Table1Row, error) {
 	ops := scale.N(400_000)
 	var rows []Table1Row
 	for _, p := range profiles {
-		dev, err := cxl.NewDevice(cxl.Config{Words: words + 16, MaxClients: 2, Latency: p.lat})
+		dev, err := cxl.NewDevice(cxl.Config{Words: words + 16, MaxClients: 2})
 		if err != nil {
 			return nil, err
 		}
-		h := dev.Open(1)
+		h := cxl.Wrap(dev, cxl.WithLatency(p.lat)).Open(1)
 		rng := rand.New(rand.NewSource(7))
 
 		// Every measurement takes the best of three runs: on a shared box the

@@ -3,10 +3,13 @@
 // The paper's hardware platform maps one external CXL memory device into the
 // physical address space of multiple compute nodes, forming a single cache
 // coherency domain that supports plain loads/stores plus atomic
-// compare-and-swap. This package models that device as a word-addressable
-// pool backed by a []uint64. Every access goes through sync/atomic, so all
-// clients (goroutines standing in for threads/processes/machines) observe a
-// linearizable shared memory exactly as CXL 3.0 memory sharing promises.
+// compare-and-swap. This package models that device behind the Memory
+// interface as a word-addressable pool. Every access goes through
+// sync/atomic, so all clients (goroutines standing in for threads/processes/
+// machines) observe a linearizable shared memory exactly as CXL 3.0 memory
+// sharing promises. Two backends implement Memory — the heap-backed Device
+// here and the mmap'd-file MapDevice — plus arbitrary middleware stacks
+// built with Wrap.
 //
 // Addresses are 64-bit word offsets from the beginning of the pool
 // (machine-independent pointers, like PMDK-style offsets). Address 0 is
@@ -14,7 +17,7 @@
 //
 // The device also models two failure-related hardware features:
 //
-//   - RAS fencing: once a client ID is fenced (Device.FenceClient), stores
+//   - RAS fencing: once a client ID is fenced (Memory.FenceClient), stores
 //     and CAS issued through that client's Handle are silently dropped,
 //     modelling "the failed client cannot modify the shared memory pool
 //     after its recovery has started" (paper §3.2).
@@ -38,28 +41,51 @@ const WordBytes = 8
 // LineWords is the number of words per modelled cache line.
 const LineWords = 8
 
-// Device is a simulated CXL-attached shared memory pool.
+// counters is one access-counter block. The device keeps one for its own
+// management-plane accesses and one per client ID for Handle accesses, so
+// concurrent clients never share a counter cache line: enabling access
+// counting must not serialize the very accesses whose scalability the
+// benchmarks measure. Stats merges all blocks on read.
+type counters struct {
+	loads, stores, cases, flushes, fences atomic.Uint64
+	_                                     [24]byte // pad to a cache line
+}
+
+func (c *counters) reset() {
+	c.loads.Store(0)
+	c.stores.Store(0)
+	c.cases.Store(0)
+	c.flushes.Store(0)
+	c.fences.Store(0)
+}
+
+// Device is the heap-backed simulated CXL shared memory pool. MapDevice
+// embeds it to reuse the entire data path over an mmap'd file.
 //
 // All word accesses are atomic. Concurrent use by any number of Handles is
 // safe; the zero value is not usable, construct with NewDevice.
 type Device struct {
 	words []uint64
-	// fenced[cid] is nonzero once client cid has been RAS-fenced.
+	// fenced[cid] is nonzero once client cid has been RAS-fenced. For a
+	// MapDevice this slice views the shared file, so a recovery service in
+	// another process can fence this process's clients.
 	fenced []atomic.Uint32
 
-	lat Latency
-
-	// countAccesses enables the per-access statistics counters. Off by
-	// default: a shared atomic counter on every load would serialize the
-	// very accesses whose scalability the benchmarks measure.
+	// countAccesses enables the per-access load/store/CAS counters. Off by
+	// default; when on, counting is handle-local (see counters).
 	countAccesses bool
 
-	flushes atomic.Uint64
-	fences  atomic.Uint64
-	loads   atomic.Uint64
-	stores  atomic.Uint64
-	cases   atomic.Uint64
+	// devCtr counts management-plane accesses (direct Memory calls: pool
+	// formatting, recovery, validators).
+	devCtr counters
+	// hctr[cid] is the counter block Handles opened for cid use. Handle
+	// incarnations for the same client ID share a block, so totals stay
+	// monotonic across slot reuse.
+	hctr []counters
 }
+
+// Device implements Memory.
+var _ Memory = (*Device)(nil)
 
 // Config configures a Device.
 type Config struct {
@@ -67,28 +93,40 @@ type Config struct {
 	Words int
 	// MaxClients bounds the client IDs that can be fenced. Must be > 0.
 	MaxClients int
-	// Latency optionally injects per-access latency (see Latency).
-	Latency Latency
-	// CountAccesses enables load/store/CAS statistics (adds a shared atomic
-	// increment to every access; keep off for benchmarks).
+	// CountAccesses enables load/store/CAS statistics. Counting is
+	// handle-local and merged on read, so it perturbs concurrent
+	// benchmarks far less than a shared counter would; still, keep it off
+	// for pure throughput runs.
 	CountAccesses bool
 }
 
-// NewDevice creates a device of cfg.Words words, all zero.
+// NewDevice creates a heap-backed device of cfg.Words words, all zero.
 func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{}
+	d.init(make([]uint64, cfg.Words), make([]atomic.Uint32, cfg.MaxClients+1), cfg.CountAccesses)
+	return d, nil
+}
+
+func (cfg Config) validate() error {
 	if cfg.Words <= 0 {
-		return nil, fmt.Errorf("cxl: pool size must be positive, got %d words", cfg.Words)
+		return fmt.Errorf("cxl: pool size must be positive, got %d words", cfg.Words)
 	}
 	if cfg.MaxClients <= 0 {
-		return nil, fmt.Errorf("cxl: MaxClients must be positive, got %d", cfg.MaxClients)
+		return fmt.Errorf("cxl: MaxClients must be positive, got %d", cfg.MaxClients)
 	}
-	d := &Device{
-		words:         make([]uint64, cfg.Words),
-		fenced:        make([]atomic.Uint32, cfg.MaxClients+1),
-		lat:           cfg.Latency,
-		countAccesses: cfg.CountAccesses,
-	}
-	return d, nil
+	return nil
+}
+
+// init wires the device core around the given storage. words and fenced may
+// live on the Go heap (NewDevice) or inside an mmap'd file (MapDevice).
+func (d *Device) init(words []uint64, fenced []atomic.Uint32, countAccesses bool) {
+	d.words = words
+	d.fenced = fenced
+	d.countAccesses = countAccesses
+	d.hctr = make([]counters, len(fenced))
 }
 
 // Words reports the size of the pool in words.
@@ -96,6 +134,14 @@ func (d *Device) Words() int { return len(d.words) }
 
 // Bytes reports the size of the pool in bytes.
 func (d *Device) Bytes() int { return len(d.words) * WordBytes }
+
+// MaxClients reports the highest client ID that can be fenced or opened.
+func (d *Device) MaxClients() int { return len(d.fenced) - 1 }
+
+// SetAccessCounting switches load/store/CAS counting on or off. Call before
+// the device is shared (handles snapshot the flag at Open); intended for
+// instrumenting a freshly opened MapDevice.
+func (d *Device) SetAccessCounting(on bool) { d.countAccesses = on }
 
 // check panics on an out-of-range address. A real device would machine-check;
 // in the simulation an out-of-range access is always an implementation bug,
@@ -110,7 +156,7 @@ func (d *Device) check(a Addr) {
 func (d *Device) Load(a Addr) uint64 {
 	d.check(a)
 	if d.countAccesses {
-		d.loads.Add(1)
+		d.devCtr.loads.Add(1)
 	}
 	return atomic.LoadUint64(&d.words[a])
 }
@@ -121,7 +167,7 @@ func (d *Device) Load(a Addr) uint64 {
 func (d *Device) Store(a Addr, v uint64) {
 	d.check(a)
 	if d.countAccesses {
-		d.stores.Add(1)
+		d.devCtr.stores.Add(1)
 	}
 	atomic.StoreUint64(&d.words[a], v)
 }
@@ -130,10 +176,18 @@ func (d *Device) Store(a Addr, v uint64) {
 func (d *Device) CAS(a Addr, old, new uint64) bool {
 	d.check(a)
 	if d.countAccesses {
-		d.cases.Add(1)
+		d.devCtr.cases.Add(1)
 	}
 	return atomic.CompareAndSwapUint64(&d.words[a], old, new)
 }
+
+// Fence is a management-plane ordering point. Go atomics are sequentially
+// consistent, so nothing to do; Handle.SFence carries the accounting.
+func (d *Device) Fence() {}
+
+// Flush is a management-plane CLWB point; Handle.Flush carries the
+// accounting and latency.
+func (d *Device) Flush(a Addr) {}
 
 // FenceClient RAS-fences client cid: all subsequent stores and CAS issued
 // through a Handle opened for cid are dropped. Idempotent.
@@ -161,9 +215,13 @@ func (d *Device) ClientFenced(cid int) bool {
 	return d.fenced[cid].Load() != 0
 }
 
+// Close releases backend resources: nothing, for the heap backend.
+func (d *Device) Close() error { return nil }
+
 // Snapshot copies the entire pool contents — the moral equivalent of the
 // CXL device keeping its memory across compute-node reboots (it has its own
-// PSU, paper §2.1/Figure 1). Use RestoreDevice to bring it back.
+// PSU, paper §2.1/Figure 1). Use RestoreDevice to bring it back, or prefer
+// MapDevice, which keeps the pool alive in a file with no copy at all.
 func (d *Device) Snapshot() []uint64 {
 	out := make([]uint64, len(d.words))
 	for i := range d.words {
@@ -172,8 +230,8 @@ func (d *Device) Snapshot() []uint64 {
 	return out
 }
 
-// RestoreDevice creates a device initialized from a snapshot. The snapshot
-// length fixes the pool size; cfg.Words is ignored.
+// RestoreDevice creates a heap device initialized from a snapshot. The
+// snapshot length fixes the pool size; cfg.Words is ignored.
 func RestoreDevice(cfg Config, snapshot []uint64) (*Device, error) {
 	cfg.Words = len(snapshot)
 	d, err := NewDevice(cfg)
@@ -189,22 +247,31 @@ type Stats struct {
 	Loads, Stores, CASes, Flushes, Fences uint64
 }
 
-// Stats returns a snapshot of the access counters.
+// Stats merges the management-plane counters and every client's handle
+// counters into one snapshot.
 func (d *Device) Stats() Stats {
-	return Stats{
-		Loads:   d.loads.Load(),
-		Stores:  d.stores.Load(),
-		CASes:   d.cases.Load(),
-		Flushes: d.flushes.Load(),
-		Fences:  d.fences.Load(),
+	s := Stats{
+		Loads:   d.devCtr.loads.Load(),
+		Stores:  d.devCtr.stores.Load(),
+		CASes:   d.devCtr.cases.Load(),
+		Flushes: d.devCtr.flushes.Load(),
+		Fences:  d.devCtr.fences.Load(),
 	}
+	for i := range d.hctr {
+		c := &d.hctr[i]
+		s.Loads += c.loads.Load()
+		s.Stores += c.stores.Load()
+		s.CASes += c.cases.Load()
+		s.Flushes += c.flushes.Load()
+		s.Fences += c.fences.Load()
+	}
+	return s
 }
 
-// ResetStats zeroes the access counters.
+// ResetStats zeroes all access counters, including every handle's.
 func (d *Device) ResetStats() {
-	d.loads.Store(0)
-	d.stores.Store(0)
-	d.cases.Store(0)
-	d.flushes.Store(0)
-	d.fences.Store(0)
+	d.devCtr.reset()
+	for i := range d.hctr {
+		d.hctr[i].reset()
+	}
 }

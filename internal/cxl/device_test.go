@@ -217,12 +217,11 @@ func TestLineCacheHitsAndInvalidation(t *testing.T) {
 }
 
 func TestLatencyModelChargesMisses(t *testing.T) {
-	d, err := NewDevice(Config{Words: 1 << 14, MaxClients: 2,
-		Latency: Latency{MissNS: 2000}})
+	d, err := NewDevice(Config{Words: 1 << 14, MaxClients: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := d.Open(1)
+	h := Wrap(d, WithLatency(Latency{MissNS: 2000})).Open(1)
 	// Repeated access to one line: first is a miss, the rest hit.
 	t0 := time.Now()
 	h.Load(8)

@@ -2,19 +2,47 @@ package cxl
 
 import "sync/atomic"
 
-// Handle is one client's view of the device. It is the only path client code
-// may use to access shared memory: RAS fencing and the latency model are
-// applied here. A Handle is owned by a single goroutine and is not
-// goroutine-safe (matching the paper's one-client-per-thread model); the
-// Device underneath is fully concurrent.
+// Handle is one client's view of a Memory. It is the only path client code
+// may use to access shared memory: RAS fencing, the latency model, access
+// hooks and per-client access counting are applied here. A Handle is owned
+// by a single goroutine and is not goroutine-safe (matching the paper's
+// one-client-per-thread model); the Memory underneath is fully concurrent.
+//
+// Dispatch is two-tier, so the heap fast path never pays interface calls:
+// when the handle is opened directly on a *Device (or *MapDevice, or only
+// handle-transparent middleware such as WithLatency is stacked above one),
+// dev is set and Load/Store/CAS touch the word array with one bounds check
+// and one sync/atomic op. Intercepting middleware (WithCounting,
+// WithAccessHook) clears dev via retarget so every access flows through the
+// interface path it observes.
 type Handle struct {
-	d   *Device
+	// mem is the full Memory stack accesses flow through when dev is nil.
+	mem Memory
+	// dev short-circuits to the concrete bottom device when no intercepting
+	// middleware is stacked (devirtualized fast path).
+	dev *Device
 	cid int
 
-	// cache models this client's CPU cache for the latency model: a small
-	// direct-mapped set of recently touched line addresses. Only consulted
-	// when the device latency model is enabled.
+	// fencedW points at this client's RAS fence word in the bottom device
+	// (heap or mmap'd file). Fencing is device-authoritative, so the fast
+	// check survives retargeting through middleware.
+	fencedW *atomic.Uint32
+	// ctr is this client's counter block in the bottom device, merged into
+	// Stats on read. count gates load/store/CAS counting on the fast path;
+	// on the interface path the bottom device counts for itself.
+	ctr   *counters
+	count bool
+
+	// lat, when set, applies the latency model (see Latency); installed by
+	// the WithLatency middleware. cache models this client's CPU cache: a
+	// small direct-mapped set of recently touched line addresses, consulted
+	// only when lat is set.
+	lat   *Latency
 	cache lineCache
+
+	// hook, when set, observes every access before it executes (installed
+	// by WithAccessHook); it may panic to simulate a crash mid-operation.
+	hook AccessHook
 
 	// droppedWrites counts stores/CAS swallowed by the RAS fence.
 	droppedWrites uint64
@@ -25,57 +53,139 @@ func (d *Device) Open(cid int) *Handle {
 	if cid <= 0 || cid >= len(d.fenced) {
 		panic("cxl: Open with out-of-range client id")
 	}
-	return &Handle{d: d, cid: cid}
+	return &Handle{
+		mem:     d,
+		dev:     d,
+		cid:     cid,
+		fencedW: &d.fenced[cid],
+		ctr:     &d.hctr[cid],
+		count:   d.countAccesses,
+	}
+}
+
+// retarget reroutes the handle's data path through m, an intercepting
+// middleware layer: dev is cleared so every Load/Store/CAS goes through m.
+// The fence word and counter block stay wired to the bottom device
+// (fencing and Stats remain device-authoritative); fast-path counting is
+// disabled because the bottom device now counts the interface-path calls
+// itself. Any handle-level hook installed by a layer below m is cleared
+// for the same reason: that layer now sees the retargeted traffic at the
+// device plane, and keeping the handle hook too would fire it twice.
+// Hook layers stacked above m set their hook after this runs and keep it.
+func (h *Handle) retarget(m Memory) *Handle {
+	h.mem = m
+	h.dev = nil
+	h.count = false
+	h.hook = nil
+	return h
+}
+
+// setLatency installs the latency profile (WithLatency middleware).
+func (h *Handle) setLatency(l Latency) *Handle {
+	if l != (Latency{}) {
+		h.lat = &l
+	}
+	return h
+}
+
+// setHook installs an access hook (WithAccessHook middleware). Multiple
+// hooks chain, innermost first.
+func (h *Handle) setHook(hook AccessHook) *Handle {
+	if prev := h.hook; prev != nil {
+		h.hook = func(cid int, kind AccessKind, a Addr) {
+			prev(cid, kind, a)
+			hook(cid, kind, a)
+		}
+	} else {
+		h.hook = hook
+	}
+	return h
 }
 
 // ClientID returns the client ID this handle was opened for.
 func (h *Handle) ClientID() int { return h.cid }
 
 // Fenced reports whether this handle's client has been RAS-fenced.
-func (h *Handle) Fenced() bool { return h.d.fenced[h.cid].Load() != 0 }
+func (h *Handle) Fenced() bool {
+	if w := h.fencedW; w != nil {
+		return w.Load() != 0
+	}
+	return h.mem.ClientFenced(h.cid)
+}
 
 // DroppedWrites reports how many stores/CAS were swallowed by the fence.
 func (h *Handle) DroppedWrites() uint64 { return h.droppedWrites }
 
 // Load atomically reads the word at a.
 func (h *Handle) Load(a Addr) uint64 {
-	h.d.check(a)
-	if h.d.countAccesses {
-		h.d.loads.Add(1)
+	if h.hook != nil {
+		h.hook(h.cid, OpLoad, a)
 	}
-	h.chargeAccess(a, false)
-	return atomic.LoadUint64(&h.d.words[a])
+	if h.lat != nil {
+		h.chargeAccess(a, false)
+	}
+	if d := h.dev; d != nil {
+		d.check(a)
+		if h.count {
+			h.ctr.loads.Add(1)
+		}
+		return atomic.LoadUint64(&d.words[a])
+	}
+	return h.mem.Load(a)
 }
 
 // Store atomically writes v at a. If the client is fenced the write is
 // silently dropped, exactly as a RAS-isolated node's writes never reach the
 // device.
 func (h *Handle) Store(a Addr, v uint64) {
-	h.d.check(a)
+	d := h.dev
+	if d != nil {
+		d.check(a)
+	}
 	if h.Fenced() {
 		h.droppedWrites++
 		return
 	}
-	if h.d.countAccesses {
-		h.d.stores.Add(1)
+	if h.hook != nil {
+		h.hook(h.cid, OpStore, a)
 	}
-	h.chargeAccess(a, false)
-	atomic.StoreUint64(&h.d.words[a], v)
+	if h.lat != nil {
+		h.chargeAccess(a, false)
+	}
+	if d != nil {
+		if h.count {
+			h.ctr.stores.Add(1)
+		}
+		atomic.StoreUint64(&d.words[a], v)
+		return
+	}
+	h.mem.Store(a, v)
 }
 
 // CAS atomically compares-and-swaps the word at a. Returns false without
 // touching memory if the client is fenced.
 func (h *Handle) CAS(a Addr, old, new uint64) bool {
-	h.d.check(a)
+	d := h.dev
+	if d != nil {
+		d.check(a)
+	}
 	if h.Fenced() {
 		h.droppedWrites++
 		return false
 	}
-	if h.d.countAccesses {
-		h.d.cases.Add(1)
+	if h.hook != nil {
+		h.hook(h.cid, OpCAS, a)
 	}
-	h.chargeAccess(a, true)
-	return atomic.CompareAndSwapUint64(&h.d.words[a], old, new)
+	if h.lat != nil {
+		h.chargeAccess(a, true)
+	}
+	if d != nil {
+		if h.count {
+			h.ctr.cases.Add(1)
+		}
+		return atomic.CompareAndSwapUint64(&d.words[a], old, new)
+	}
+	return h.mem.CAS(a, old, new)
 }
 
 // SFence orders the client's preceding stores before its subsequent ones,
@@ -84,9 +194,15 @@ func (h *Handle) CAS(a Addr, old, new uint64) bool {
 // only needs to be accounted (and optionally charged) for the Figure 7
 // breakdown.
 func (h *Handle) SFence() {
-	h.d.fences.Add(1)
-	if h.d.lat.FenceNS > 0 {
-		spin(h.d.lat.FenceNS)
+	if h.hook != nil {
+		h.hook(h.cid, OpFence, 0)
+	}
+	h.ctr.fences.Add(1)
+	if h.lat != nil && h.lat.FenceNS > 0 {
+		spin(h.lat.FenceNS)
+	}
+	if h.dev == nil {
+		h.mem.Fence()
 	}
 }
 
@@ -94,15 +210,21 @@ func (h *Handle) SFence() {
 // device (needed on the paper's CXL 2.0 platform; see §6.1). It is an
 // accounting no-op plus optional latency.
 func (h *Handle) Flush(a Addr) {
-	h.d.flushes.Add(1)
-	if h.d.lat.FlushNS > 0 {
-		spin(h.d.lat.FlushNS)
+	if h.hook != nil {
+		h.hook(h.cid, OpFlush, a)
+	}
+	h.ctr.flushes.Add(1)
+	if h.lat != nil && h.lat.FlushNS > 0 {
+		spin(h.lat.FlushNS)
+	}
+	if h.dev == nil {
+		h.mem.Flush(a)
 	}
 }
 
 // chargeAccess applies the latency model for one word access.
 func (h *Handle) chargeAccess(a Addr, cas bool) {
-	lat := &h.d.lat
+	lat := h.lat
 	if !lat.enabled() {
 		return
 	}

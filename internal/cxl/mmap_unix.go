@@ -1,0 +1,39 @@
+//go:build unix
+
+package cxl
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapFile maps size bytes of f read-write and shared: every process
+// mapping the file sees one cache-coherent byte array — the software
+// equivalent of multiple hosts mapping one CXL device.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("cxl: mmap %s (%d bytes): %w", f.Name(), size, err)
+	}
+	return data, nil
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// msync synchronously writes the mapping's dirty pages back to the file.
+func msync(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("cxl: msync: %w", errno)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+//go:build unix
+
+package shm_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cxl"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// These tests cover the cross-process story end to end: a pool created on
+// an mmap'd file by one "process" (mapping) is reopened alive by another,
+// the dead owner's clients are recovered, and the full pool validator comes
+// back clean. Dual mappings of one file stand in for two OS processes —
+// the data path is byte-identical.
+
+var mapGeometry = layout.GeometryConfig{
+	MaxClients:   8,
+	NumSegments:  16,
+	SegmentWords: 1 << 13,
+	PageWords:    1 << 9,
+	MaxQueues:    8,
+}
+
+func TestMapPoolCrashReopenRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.cxl")
+
+	// Process 1: create a file-backed pool, allocate a mess, crash.
+	p1, err := shm.NewPool(shm.Config{Geometry: mapGeometry, File: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := connect(t, p1)
+	var keeper layout.Addr
+	for i := 0; i < 200; i++ {
+		_, block, err := owner.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			keeper = block
+			owner.WriteData(block, 0, []byte("survives the process"))
+		}
+	}
+	ownerID := owner.ID()
+	// The "process" dies: unmap without releasing anything.
+	if err := p1.CloseDevice(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 2: reopen the file alive, no copy.
+	p2, err := shm.OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer p2.CloseDevice()
+	stale := p2.StaleClients()
+	if len(stale) != 1 || stale[0] != ownerID {
+		t.Fatalf("stale clients = %v, want [%d]", stale, ownerID)
+	}
+
+	// The data really is there before any recovery runs.
+	reader := connect(t, p2)
+	buf := make([]byte, 20)
+	reader.ReadData(keeper, 0, buf)
+	if string(buf) != "survives the process" {
+		t.Fatalf("read %q across the reopen", buf)
+	}
+
+	// Recover the dead owner; everything it held is reclaimed.
+	svc, err := recovery.NewService(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.MarkClientDead(ownerID); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc.RecoverClient(ownerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SweptRoots != 200 {
+		t.Fatalf("swept %d roots, want 200", rep.SweptRoots)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 4; i++ {
+		mon.Tick()
+	}
+	res := mustValidate(t, p2)
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked across the process boundary", res.AllocatedObjects)
+	}
+}
+
+func TestMapPoolQueueAcrossMappings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.cxl")
+	p1, err := shm.NewPool(shm.Config{Geometry: mapGeometry, File: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.CloseDevice()
+	snd := connect(t, p1)
+
+	// The receiver lives on a second mapping of the same file.
+	p2, err := shm.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.CloseDevice()
+	rcv := connect(t, p2)
+
+	qroot, q, err := snd.CreateQueue(rcv.ID(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := rcv.OpenQueue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		root, block, err := snd.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snd.WriteData(block, 0, []byte{byte(i)})
+		if err := snd.Send(q, block); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := snd.ReleaseRoot(root); err != nil {
+			t.Fatal(err)
+		}
+		rroot, rblock, err := rcv.Receive(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 1)
+		rcv.ReadData(rblock, 0, got)
+		if got[0] != byte(i) {
+			t.Fatalf("item %d read back %d through the other mapping", i, got[0])
+		}
+		if _, err := rcv.ReleaseRoot(rroot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := snd.ReleaseRoot(qroot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rcv.ReleaseRoot(rq); err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, p1)
+}
+
+func TestOpenFileRejectsForeignPools(t *testing.T) {
+	dir := t.TempDir()
+
+	// A raw MapDevice that was never formatted as a pool.
+	blank := filepath.Join(dir, "blank.cxl")
+	md, err := cxl.CreateMapDevice(blank, cxl.Config{Words: 1 << 12, MaxClients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md.Close()
+	if _, err := shm.OpenFile(blank); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("unformatted pool file: %v", err)
+	}
+
+	// A formatted pool whose layout version is from a different build.
+	vpath := filepath.Join(dir, "oldver.cxl")
+	p, err := shm.NewPool(shm.Config{Geometry: mapGeometry, File: vpath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Device().Store(layout.SuperOffVersion, layout.LayoutVersion+7)
+	if err := p.CloseDevice(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = shm.OpenFile(vpath)
+	if err == nil || !strings.Contains(err.Error(), "layout version") {
+		t.Fatalf("version mismatch: %v", err)
+	}
+}
+
+func TestAttachSnapshotValidatesSuperblock(t *testing.T) {
+	p := newTestPool(t)
+	c := connect(t, p)
+	if _, _, err := c.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean snapshot attaches fine.
+	img := p.Snapshot()
+	if _, err := shm.AttachSnapshot(img); err != nil {
+		t.Fatalf("clean snapshot: %v", err)
+	}
+
+	// Wrong layout version.
+	bad := append([]uint64(nil), img...)
+	bad[layout.SuperOffVersion] = layout.LayoutVersion + 1
+	if _, err := shm.AttachSnapshot(bad); err == nil || !strings.Contains(err.Error(), "layout version") {
+		t.Fatalf("version mismatch: %v", err)
+	}
+
+	// Wrong magic.
+	bad = append([]uint64(nil), img...)
+	bad[layout.SuperOffMagic] = 1
+	if _, err := shm.AttachSnapshot(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Truncated image.
+	if _, err := shm.AttachSnapshot(img[:len(img)/2]); err == nil {
+		t.Fatal("truncated image must be rejected")
+	}
+}
+
+func TestAttachMemoryRejectsWrongSize(t *testing.T) {
+	p := newTestPool(t)
+	img := p.Snapshot()
+	// Restore into an oversized device: superblock geometry won't match the
+	// device size.
+	dev, err := cxl.NewDevice(cxl.Config{Words: len(img) + 4096, MaxClients: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range img {
+		if w != 0 {
+			dev.Store(layout.Addr(i), w)
+		}
+	}
+	if _, err := shm.AttachMemory(dev); err == nil || !strings.Contains(err.Error(), "words") {
+		t.Fatalf("size mismatch: %v", err)
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	// Explicit mmap backend via config.
+	p, err := shm.NewPool(shm.Config{Geometry: mapGeometry, Backend: "mmap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cxl.Bottom(p.Device()).(*cxl.MapDevice); !ok {
+		t.Fatalf("Backend mmap built %T", cxl.Bottom(p.Device()))
+	}
+	c := connect(t, p)
+	r, _, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseDevice(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := shm.NewPool(shm.Config{Geometry: mapGeometry, Backend: "floppy"}); err == nil {
+		t.Fatal("unknown backend must be rejected")
+	}
+}

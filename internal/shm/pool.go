@@ -2,29 +2,55 @@ package shm
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cxl"
 	"repro/internal/layout"
 	"repro/internal/obs"
 )
 
+// BackendEnv is the environment variable that selects the default device
+// backend for pools that do not specify one ("heap" or "mmap"). It lets
+// the entire test suite and fault campaigns run over the mmap backend
+// without touching a single call site: CXLSHM_BACKEND=mmap go test ./...
+const BackendEnv = "CXLSHM_BACKEND"
+
 // Config configures a Pool.
 type Config struct {
 	// Geometry selects pool dimensions; zero fields take defaults.
 	Geometry layout.GeometryConfig
-	// Latency optionally enables the device latency model.
+	// Latency optionally enables the device latency model (stacked as
+	// cxl.WithLatency middleware over the backend).
 	Latency cxl.Latency
 	// CountAccesses enables the device's per-access statistics (loads,
-	// stores, CAS). Used by the fast-path benchmarks to count device-word
-	// round trips per operation; keep off for throughput runs.
+	// stores, CAS). Counting is handle-local and merged on read, so it no
+	// longer serializes concurrent clients; still, keep it off for pure
+	// throughput runs.
 	CountAccesses bool
+
+	// Backend selects the device backend: "heap" (default) keeps the pool
+	// in process memory; "mmap" backs it with an unlinked temporary file
+	// through cxl.MapDevice (same data path as File, nothing left on
+	// disk). Empty consults BackendEnv, then defaults to "heap".
+	Backend string
+	// File, when set, backs the pool with the mmap'd file at this path
+	// (created, must not exist — see cxl.CreateMapDevice). The pool then
+	// outlives this process: reopen it with OpenFile.
+	File string
+	// Memory, when set, formats the pool onto this pre-built backend
+	// (custom middleware stacks, an already-created MapDevice). Must be
+	// sized for the geometry. Overrides Backend and File.
+	Memory cxl.Memory
+	// Middleware is stacked over the backend (innermost first) before any
+	// client or the recovery service touches it.
+	Middleware []cxl.Middleware
 }
 
-// Pool is a formatted CXL-SHM shared memory pool: the device plus its
+// Pool is a formatted CXL-SHM shared memory pool: a device backend plus its
 // geometry. Clients Connect to a Pool; the recovery service operates on it
 // directly.
 type Pool struct {
-	dev *cxl.Device
+	dev cxl.Memory
 	geo *layout.Geometry
 	obs *obs.Metrics
 }
@@ -40,46 +66,84 @@ func newMetrics(geo *layout.Geometry) *obs.Metrics {
 	return m
 }
 
-// NewPool creates and formats a shared pool.
+// newBackend builds the device backend cfg selects for geo.
+func newBackend(cfg Config, geo *layout.Geometry) (cxl.Memory, error) {
+	devCfg := cxl.Config{
+		Words:         int(geo.TotalWords),
+		MaxClients:    geo.MaxClients + 1, // +1: the recovery service connects as a client too
+		CountAccesses: cfg.CountAccesses,
+	}
+	if cfg.File != "" {
+		return cxl.CreateMapDevice(cfg.File, devCfg)
+	}
+	backend := cfg.Backend
+	if backend == "" {
+		backend = os.Getenv(BackendEnv)
+	}
+	switch backend {
+	case "", "heap":
+		return cxl.NewDevice(devCfg)
+	case "mmap":
+		return cxl.NewAnonMapDevice(devCfg)
+	default:
+		return nil, fmt.Errorf("shm: unknown device backend %q (want \"heap\" or \"mmap\")", backend)
+	}
+}
+
+// wrap stacks the configured middleware (and latency profile) over mem.
+func wrap(cfg Config, mem cxl.Memory) cxl.Memory {
+	if cfg.Latency != (cxl.Latency{}) {
+		mem = cxl.Wrap(mem, cxl.WithLatency(cfg.Latency))
+	}
+	return cxl.Wrap(mem, cfg.Middleware...)
+}
+
+// NewPool creates and formats a shared pool on the configured backend.
 func NewPool(cfg Config) (*Pool, error) {
 	geo, err := layout.NewGeometry(cfg.Geometry)
 	if err != nil {
 		return nil, err
 	}
-	dev, err := cxl.NewDevice(cxl.Config{
-		Words:         int(geo.TotalWords),
-		MaxClients:    geo.MaxClients + 1, // +1: the recovery service connects as a client too
-		Latency:       cfg.Latency,
-		CountAccesses: cfg.CountAccesses,
-	})
-	if err != nil {
+	mem := cfg.Memory
+	if mem == nil {
+		mem, err = newBackend(cfg, geo)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := checkBackendFits(mem, geo); err != nil {
 		return nil, err
 	}
-	p := &Pool{dev: dev, geo: geo, obs: newMetrics(geo)}
+	p := &Pool{dev: wrap(cfg, mem), geo: geo, obs: newMetrics(geo)}
 	p.format()
 	return p, nil
 }
 
-// format writes the pool magic and geometry summary. Freshly created device
-// words are zero, which is exactly the initial state everything else needs:
-// segment entries read as {cid 0, version 0, SegFree}, client slots as
-// ClientSlotFree, queue registry as empty.
+// checkBackendFits verifies a caller-supplied backend matches the geometry.
+func checkBackendFits(mem cxl.Memory, geo *layout.Geometry) error {
+	if got, want := mem.Words(), int(geo.TotalWords); got != want {
+		return fmt.Errorf("shm: backend has %d words, geometry needs %d", got, want)
+	}
+	if got, want := mem.MaxClients(), geo.MaxClients+1; got < want {
+		return fmt.Errorf("shm: backend supports %d client IDs, geometry needs %d", got, want)
+	}
+	return nil
+}
+
+// format writes the pool superblock and runtime words. Freshly created
+// device words are zero, which is exactly the initial state everything else
+// needs: segment entries read as {cid 0, version 0, SegFree}, client slots
+// as ClientSlotFree, queue registry as empty.
 func (p *Pool) format() {
-	d := p.dev
-	d.Store(1, layout.PoolMagic)
-	d.Store(2, p.geo.SegmentWords)
-	d.Store(3, p.geo.PageWords)
-	d.Store(4, uint64(p.geo.NumSegments))
-	d.Store(5, uint64(p.geo.MaxClients))
-	d.Store(6, uint64(p.geo.MaxQueues))
+	layout.WriteSuperblock(p.dev, p.geo)
 	// Global reclamation era for hazard-era deferred reclamation: starts at
 	// 1 so a zero hazard word always means "not reading".
-	d.Store(7, 1)
+	p.dev.Store(globalEraAddr, 1)
 }
 
 // Snapshot captures the pool contents for later AttachSnapshot — the
 // "everything survives because the device has its own power supply" story
-// of the paper's Figure 1. Take it at a quiescent moment.
+// of the paper's Figure 1. Take it at a quiescent moment. Prefer a
+// File-backed pool (cxl.MapDevice), which needs no copy at all.
 func (p *Pool) Snapshot() []uint64 { return p.dev.Snapshot() }
 
 // AttachSnapshot reconstructs a Pool around a previously snapshotted device
@@ -87,22 +151,16 @@ func (p *Pool) Snapshot() []uint64 { return p.dev.Snapshot() }
 // incarnation (their processes are gone); list them with StaleClients and
 // hand each to the recovery service before resuming normal operation.
 func AttachSnapshot(snapshot []uint64) (*Pool, error) {
-	// Rebuild geometry from the formatted header words.
-	if len(snapshot) < 8 || snapshot[1] != layout.PoolMagic {
-		return nil, fmt.Errorf("shm: snapshot is not a formatted CXL-SHM pool")
-	}
-	geo, err := layout.NewGeometry(layout.GeometryConfig{
-		SegmentWords: snapshot[2],
-		PageWords:    snapshot[3],
-		NumSegments:  int(snapshot[4]),
-		MaxClients:   int(snapshot[5]),
-		MaxQueues:    int(snapshot[6]),
-	})
+	sb, err := layout.SuperblockFromWords(snapshot)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("shm: %w", err)
+	}
+	geo, err := sb.Geometry()
+	if err != nil {
+		return nil, fmt.Errorf("shm: %w", err)
 	}
 	if geo.TotalWords != uint64(len(snapshot)) {
-		return nil, fmt.Errorf("shm: snapshot has %d words, geometry computes %d",
+		return nil, fmt.Errorf("shm: snapshot has %d words, its superblock geometry computes %d (truncated or corrupt image)",
 			len(snapshot), geo.TotalWords)
 	}
 	dev, err := cxl.RestoreDevice(cxl.Config{MaxClients: geo.MaxClients + 1}, snapshot)
@@ -111,6 +169,46 @@ func AttachSnapshot(snapshot []uint64) (*Pool, error) {
 	}
 	return &Pool{dev: dev, geo: geo, obs: newMetrics(geo)}, nil
 }
+
+// AttachMemory attaches a pool that already lives on mem — typically a
+// cxl.MapDevice reopened by a fresh process. The superblock is validated
+// (magic, layout version, geometry) before anything touches the pool; on
+// mismatch the pool is left untouched and a descriptive error returned.
+// Middleware, if any, is stacked over mem.
+func AttachMemory(mem cxl.Memory, mws ...cxl.Middleware) (*Pool, error) {
+	sb := layout.ReadSuperblock(mem)
+	geo, err := sb.Geometry()
+	if err != nil {
+		return nil, fmt.Errorf("shm: %w", err)
+	}
+	if err := checkBackendFits(mem, geo); err != nil {
+		return nil, err
+	}
+	return &Pool{dev: cxl.Wrap(mem, mws...), geo: geo, obs: newMetrics(geo)}, nil
+}
+
+// OpenFile maps the pool file at path (created by a NewPool with
+// Config.File, possibly by another OS process) and attaches it — alive, no
+// copy. The previous owner's clients come back exactly as they were;
+// recover the stale ones before connecting new clients.
+func OpenFile(path string, mws ...cxl.Middleware) (*Pool, error) {
+	md, err := cxl.OpenMapDevice(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := AttachMemory(md, mws...)
+	if err != nil {
+		md.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// CloseDevice releases the device backend (unmaps a file-backed pool). For
+// a file-backed pool the pool itself survives in the file; for the heap
+// backend this is a no-op. Any Client or Handle of this pool must not be
+// used afterwards.
+func (p *Pool) CloseDevice() error { return p.dev.Close() }
 
 // StaleClients lists client slots whose previous incarnation never exited
 // cleanly (status alive or dead in the attached image). Recover each before
@@ -126,8 +224,9 @@ func (p *Pool) StaleClients() []int {
 	return out
 }
 
-// Device exposes the underlying device (recovery, validation, benchmarks).
-func (p *Pool) Device() *cxl.Device { return p.dev }
+// Device exposes the underlying device backend (recovery, validation,
+// benchmarks).
+func (p *Pool) Device() cxl.Memory { return p.dev }
 
 // Obs exposes the pool's observability core (metrics + recovery tracer).
 func (p *Pool) Obs() *obs.Metrics { return p.obs }
