@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: all build test vet race verify bench bench-fastpath bench-smoke \
-	test-mmap ci
+	test-mmap sweep ci
 
 all: verify
 
@@ -37,13 +37,23 @@ test-mmap:
 	CXLSHM_BACKEND=mmap $(GO) test -run TestRecoverEveryCrashPoint ./internal/recovery
 	$(GO) run ./cmd/faultsim -trials 50 -backend mmap
 
+# sweep runs the bounded access-granular crash sweep on both backends:
+# every scripted operation crashed at up to 40 of its device writes, each
+# followed by recovery and a full-pool fsck, plus a phase-B pass that
+# crashes the recovery executor itself. Violations print a minimal
+# `faultsim -repro` line and fail the target.
+sweep:
+	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep
+	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep -backend mmap
+
 # ci is the continuous-integration gate (.github/workflows/ci.yml): vet,
 # tier-1 build+test, a race pass over the fast-path and queue tests on both
-# backends, and the mmap-backend suite.
+# backends, the mmap-backend suite, and the bounded crash sweep.
 ci: vet build test
 	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	$(MAKE) test-mmap
+	$(MAKE) sweep
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .

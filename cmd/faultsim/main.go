@@ -8,15 +8,24 @@
 // Usage:
 //
 //	faultsim [-trials N] [-seed S] [-systematic] [-backend heap|mmap]
+//	faultsim -sweep [-max-writes N] [-recovery-sweep] [-backend heap|mmap]
+//	faultsim -repro "op=NAME access=N [recovery-access=R]" [-backend heap|mmap]
 //
 // -backend mmap runs every trial on an mmap'd-file device (cxl.MapDevice),
 // exercising crash recovery over the cross-process backend's data path.
+//
+// -sweep replaces the named-point campaign with the exhaustive
+// access-granular one (internal/sweep): every device write of every scripted
+// operation is a crash position, each followed by recovery and a full-pool
+// fsck. Violations print a minimal -repro invocation and exit nonzero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/check"
 	"repro/internal/faultinject"
@@ -24,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/shm"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -31,10 +41,43 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	systematic := flag.Bool("systematic", false, "also crash at every occurrence of every crash point")
 	metrics := flag.Bool("metrics", false, "collect pool metrics; write FAULTSIM_metrics.json and print a summary")
+	doSweep := flag.Bool("sweep", false, "run the exhaustive access-granular crash sweep instead of trials")
+	maxWrites := flag.Int("max-writes", 0, "with -sweep: bound crash positions per operation (0 = every write)")
+	recoverySweep := flag.Bool("recovery-sweep", false, "with -sweep: also crash the recovery pass at each of its own writes")
+	repro := flag.String("repro", "", `reproduce one sweep position: "op=NAME access=N [recovery-access=R]"`)
 	flag.StringVar(&backend, "backend", "", "device backend per trial: heap (default) or mmap")
 	flag.Parse()
 	if *metrics {
 		obs.EnableGlobal()
+	}
+
+	if *doSweep || *repro != "" {
+		cfg := sweep.Config{
+			Backend:       backend,
+			MaxWrites:     *maxWrites,
+			RecoverySweep: *recoverySweep,
+			Log: func(format string, args ...any) {
+				fmt.Printf("  "+format+"\n", args...)
+			},
+		}
+		if *repro != "" {
+			if err := parseRepro(*repro, &cfg); err != nil {
+				fail(err)
+			}
+		}
+		vs, st, err := sweep.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "VIOLATION %s\n", v)
+		}
+		if len(vs) > 0 {
+			fail(fmt.Errorf("sweep: %d violations", len(vs)))
+		}
+		fmt.Printf("sweep: %d ops, %d crash positions (+%d recovery positions) — all recovered and validated clean\n",
+			st.Ops, st.Positions, st.RecoveryPositions)
+		return
 	}
 
 	crashes, clean := 0, 0
@@ -171,6 +214,40 @@ func workload(x, o *shm.Client) ([]layout.Addr, error) {
 		return oRoots, err
 	}
 	oRoots = append(oRoots, rb)
+
+	// Batched legs: SendBatch/ReceiveBatch walk the same per-slot crash
+	// points as Send/Receive but with one tail/head publication per batch —
+	// a crash mid-batch strands a different prefix of slots.
+	var batch []layout.Addr
+	var batchRoots []layout.Addr
+	for i := 0; i < 3; i++ {
+		r, b, err := x.Malloc(64, 0)
+		if err != nil {
+			return oRoots, err
+		}
+		batchRoots = append(batchRoots, r)
+		batch = append(batch, b)
+	}
+	n, err := x.SendBatch(q, batch)
+	if err != nil {
+		return oRoots, err
+	}
+	if n != len(batch) {
+		return oRoots, fmt.Errorf("short batch send: %d of %d", n, len(batch))
+	}
+	for _, r := range batchRoots {
+		if _, err := x.ReleaseRoot(r); err != nil {
+			return oRoots, err
+		}
+	}
+	broots, _, err := o.ReceiveBatch(q, 4)
+	if err != nil {
+		return oRoots, err
+	}
+	if len(broots) != n {
+		return oRoots, fmt.Errorf("short batch receive: %d of %d", len(broots), n)
+	}
+	oRoots = append(oRoots, broots...)
 	x.ReleaseRoot(qr)
 
 	qr2, q2, err := o.CreateQueue(x.ID(), 4)
@@ -328,6 +405,40 @@ func runSystematic() (int, error) {
 		}
 	}
 	return positions, nil
+}
+
+// parseRepro fills cfg from a sweep violation's repro spec, e.g.
+// "op=send access=18" or "op=free-huge access=1 recovery-access=12".
+func parseRepro(spec string, cfg *sweep.Config) error {
+	for _, tok := range strings.Fields(spec) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("repro: %q is not key=value", tok)
+		}
+		switch k {
+		case "op":
+			cfg.Op = v
+		case "access", "recovery-access":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("repro: bad %s %q", k, v)
+			}
+			if k == "access" {
+				cfg.Access = n
+			} else {
+				cfg.RecoveryAccess = n
+			}
+		default:
+			return fmt.Errorf("repro: unknown key %q", k)
+		}
+	}
+	if cfg.Op == "" {
+		return fmt.Errorf("repro: op= is required")
+	}
+	if cfg.RecoveryAccess > 0 {
+		cfg.RecoverySweep = true
+	}
+	return nil
 }
 
 func fail(err error) {

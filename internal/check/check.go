@@ -31,6 +31,9 @@ const (
 	StuckReclaim  IssueKind = "stuck-reclaim" // refcount-zero object never reclaimed
 	LostFreeBlock IssueKind = "lost-free"     // free-marked block on no list
 	BadStructure  IssueKind = "bad-structure" // corrupt allocator metadata
+	QueueCorrupt  IssueKind = "queue-corrupt" // queue indices/registry inconsistent
+	EraMatrix     IssueKind = "era-matrix"    // observed era exceeds the owner's own era
+	StaleRedo     IssueKind = "stale-redo"    // valid redo entry on a recovered/free client slot
 )
 
 // Issue is one validation failure.
@@ -52,6 +55,7 @@ type Result struct {
 	SegmentsActive   int
 	SegmentsFree     int
 	SegmentsOther    int
+	Queues           int
 }
 
 // Clean reports whether validation found no issues.
@@ -74,6 +78,9 @@ func Validate(p *shm.Pool) *Result {
 	v.walkNamedRoots()
 	v.walkSegments()
 	v.crossCheck()
+	v.checkQueues()
+	v.checkEraMatrix()
+	v.checkClientSlots()
 	return v.res
 }
 
@@ -88,6 +95,13 @@ type validator struct {
 	alloc map[layout.Addr]layout.Header
 	// free maps free block -> number of free-list memberships.
 	free map[layout.Addr]int
+	// queues lists allocated blocks flagged MetaQueue, for the queue fsck.
+	queues []queueRec
+}
+
+type queueRec struct {
+	block layout.Addr
+	meta  layout.Meta
 }
 
 func (v *validator) load(a layout.Addr) uint64 { return v.p.Device().Load(a) }
@@ -134,6 +148,9 @@ func (v *validator) walkHuge(seg int, st layout.SegState) {
 	}
 	v.alloc[block] = hdr
 	v.res.AllocatedObjects++
+	if m.Flags&layout.MetaQueue != 0 {
+		v.queues = append(v.queues, queueRec{block, m})
+	}
 	v.recordEmbeds(block, m)
 }
 
@@ -145,16 +162,33 @@ func (v *validator) walkPagedSegment(seg int) {
 		numPages = v.geo.PagesPerSegment
 	}
 
-	// Free-list membership, per page and segment-wide client_free.
+	// Free-list membership, per page and segment-wide client_free. Every
+	// node must lie inside its page's bumped region and on a block boundary;
+	// a wild node means the list itself is corrupt, so the walk stops there
+	// rather than chase an arbitrary pointer chain through the pool.
 	for pg := 0; pg < numPages; pg++ {
 		metaA := v.geo.PageMetaAddr(seg, pg)
 		info := layout.UnpackPageMeta(v.load(metaA + pmInfo))
+		base := v.geo.PageBase(seg, pg)
+		scanPos := layout.Addr(v.load(metaA + pmScan))
+		stride := layout.Addr(layout.RootRefWords)
+		if info.Kind == layout.PageKindNormal {
+			if int(info.SizeClass) >= len(v.geo.Classes) {
+				continue // reported by the block walk below
+			}
+			stride = layout.Addr(v.geo.Classes[info.SizeClass].BlockWords)
+		}
 		nextOff := layout.Addr(layout.DataOff)
 		if info.Kind == layout.PageKindRootRef {
 			nextOff = layout.RootRefPptrOff
 		}
 		seen := 0
 		for b := v.load(metaA + pmFree); b != 0; b = v.load(b + nextOff) {
+			if b < base || b >= scanPos || (b-base)%stride != 0 {
+				v.res.add(BadStructure, layout.Addr(b),
+					"free-list node of %d/%d outside page or misaligned", seg, pg)
+				break
+			}
 			v.free[b]++
 			seen++
 			if seen > int(v.geo.PageWords) {
@@ -163,8 +197,15 @@ func (v *validator) walkPagedSegment(seg int) {
 			}
 		}
 	}
+	segBase := v.geo.SegmentBase(seg)
+	segEnd := segBase + layout.Addr(v.geo.SegmentWords)
 	seen := 0
 	for b := v.load(v.geo.SegClientFreeAddr(seg)); b != 0; b = v.load(b + layout.DataOff) {
+		if b < segBase || b >= segEnd {
+			v.res.add(BadStructure, layout.Addr(b),
+				"client_free node outside segment %d", seg)
+			break
+		}
 		v.free[b]++
 		seen++
 		if seen > int(v.geo.SegmentWords) {
@@ -217,6 +258,9 @@ func (v *validator) walkPagedSegment(seg int) {
 					if v.free[b] > 0 {
 						v.res.add(DoubleFree, b, "allocated block also on a free list")
 					}
+					if m.Flags&layout.MetaQueue != 0 {
+						v.queues = append(v.queues, queueRec{b, m})
+					}
 					v.recordEmbeds(b, m)
 				} else {
 					v.res.FreeBlocks++
@@ -259,6 +303,81 @@ func (v *validator) crossCheck() {
 	for t, n := range v.expected {
 		if _, ok := v.alloc[t]; !ok {
 			v.res.add(WildPointer, t, "%d reference(s) to a non-allocated block", n)
+		}
+	}
+}
+
+// checkQueues audits every allocated block flagged as a transfer queue: the
+// index words must describe a window no larger than the capacity, and the
+// registry entry the queue claims must point back at it (§5.2 — the registry
+// is how recovery and late receivers discover queues, so a broken backref
+// orphans the queue from the sweep).
+func (v *validator) checkQueues() {
+	for _, q := range v.queues {
+		v.res.Queues++
+		capacity := int(q.meta.EmbedCnt)
+		if capacity < 1 {
+			v.res.add(QueueCorrupt, q.block, "queue with zero capacity")
+			continue
+		}
+		infoA := q.block + layout.DataOff + layout.Addr(capacity)
+		head := v.load(infoA + 1)
+		tail := v.load(infoA + 2)
+		if head > tail {
+			v.res.add(QueueCorrupt, q.block, "head %d ahead of tail %d", head, tail)
+		} else if tail-head > uint64(capacity) {
+			v.res.add(QueueCorrupt, q.block,
+				"%d in flight exceeds capacity %d", tail-head, capacity)
+		}
+		reg := int(uint32(v.load(infoA) >> 32))
+		if reg < 0 || reg >= v.geo.MaxQueues {
+			v.res.add(QueueCorrupt, q.block, "registry index %d out of range", reg)
+		} else if got := v.load(v.geo.QueueRegAddr(reg)); got != uint64(q.block) {
+			v.res.add(QueueCorrupt, q.block,
+				"registry slot %d holds %#x, not this queue", reg, got)
+		}
+	}
+}
+
+// checkEraMatrix verifies the §4.3 observation invariant: no client can have
+// seen an era of client i beyond the era client i itself has published
+// (Era[j][i] <= Era[i][i]) — a violation would let recovery's Condition 2
+// "prove" commits that never happened.
+func (v *validator) checkEraMatrix() {
+	for i := 1; i <= v.geo.MaxClients; i++ {
+		own := v.load(v.geo.EraAddr(i, i))
+		for j := 1; j <= v.geo.MaxClients; j++ {
+			if j == i {
+				continue
+			}
+			if seen := v.load(v.geo.EraAddr(j, i)); seen > own {
+				v.res.add(EraMatrix, v.geo.EraAddr(j, i),
+					"client %d saw era %d of client %d, who only published %d",
+					j, seen, i, own)
+			}
+		}
+	}
+}
+
+// checkClientSlots verifies client-slot hygiene: the status word holds a
+// known state, and no recovered or free slot still carries a valid redo
+// entry — recovery must invalidate the redo before announcing RECOVERED, or
+// the slot's next incarnation inherits a transaction it never ran.
+func (v *validator) checkClientSlots() {
+	for cid := 1; cid <= v.geo.MaxClients; cid++ {
+		a := v.geo.ClientStatusAddr(cid)
+		status := v.load(a)
+		switch status {
+		case layout.ClientSlotFree, layout.ClientAlive, layout.ClientDead, layout.ClientRecovered:
+		default:
+			v.res.add(BadStructure, a, "client %d status word is %d", cid, status)
+			continue
+		}
+		if _, ok := v.p.ReadRedo(cid); ok {
+			if status == layout.ClientRecovered || status == layout.ClientSlotFree {
+				v.res.add(StaleRedo, v.geo.ClientRedoBase(cid),
+					"client %d is settled (status %d) but holds a valid redo entry", cid, status)
+			}
 		}
 	}
 }

@@ -218,3 +218,123 @@ func TestNamedRootCountsAsReference(t *testing.T) {
 		t.Fatalf("after unpublish: %d objects, %v", res.AllocatedObjects, res.Issues)
 	}
 }
+
+// --- fsck extensions: queue, era-matrix, client-slot, redo, free-list ---
+
+func newQueuePool(t *testing.T) *shm.Pool {
+	t.Helper()
+	p, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 4, NumSegments: 8, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDetectsQueueHeadAheadOfTail(t *testing.T) {
+	p := newQueuePool(t)
+	c, _ := p.Connect()
+	o, _ := p.Connect()
+	_, q, err := c.CreateQueue(o.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: head index beyond the tail (a receive that never was sent).
+	headA := q + layout.DataOff + 4 + 1
+	p.Device().Store(headA, 5)
+	res := check.Validate(p)
+	if !hasIssue(res, check.QueueCorrupt) {
+		t.Fatalf("head>tail queue not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsQueueOverCapacity(t *testing.T) {
+	p := newQueuePool(t)
+	c, _ := p.Connect()
+	o, _ := p.Connect()
+	_, q, err := c.CreateQueue(o.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: more in flight than the ring has slots.
+	tailA := q + layout.DataOff + 4 + 2
+	p.Device().Store(tailA, 9)
+	res := check.Validate(p)
+	if !hasIssue(res, check.QueueCorrupt) {
+		t.Fatalf("over-capacity queue not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsQueueRegistryMismatch(t *testing.T) {
+	p := newQueuePool(t)
+	c, _ := p.Connect()
+	o, _ := p.Connect()
+	_, q, err := c.CreateQueue(o.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: the registry slot this queue claims no longer points back.
+	info := c.QueueInfoOf(q)
+	p.Device().Store(p.Geometry().QueueRegAddr(info.RegIdx), 0)
+	res := check.Validate(p)
+	if !hasIssue(res, check.QueueCorrupt) {
+		t.Fatalf("broken registry backref not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsEraMatrixViolation(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	if _, _, err := c.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: client 2 claims to have observed an era of client 1 far beyond
+	// client 1's own era counter.
+	geo := p.Geometry()
+	p.Device().Store(geo.EraAddr(2, c.ID()), 1<<20)
+	res := check.Validate(p)
+	if !hasIssue(res, check.EraMatrix) {
+		t.Fatalf("impossible observed era not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsStaleRedo(t *testing.T) {
+	p := newPool(t)
+	// Corrupt: a valid redo entry on a client slot that is FREE — a recovery
+	// pass must clear the entry before the slot can be handed out again.
+	p.Device().Store(p.Geometry().ClientRedoBase(2), 1<<63)
+	res := check.Validate(p)
+	if !hasIssue(res, check.StaleRedo) {
+		t.Fatalf("valid redo on free slot not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsBadClientStatus(t *testing.T) {
+	p := newPool(t)
+	p.Device().Store(p.Geometry().ClientStatusAddr(1), 77)
+	res := check.Validate(p)
+	if !hasIssue(res, check.BadStructure) {
+		t.Fatalf("garbage client status not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsFreeListEscape(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point the segment's client_free list at an address outside the
+	// segment (a torn or wild pointer must not send the walker off-pool).
+	seg := p.Geometry().SegmentIndexOf(block)
+	p.Device().Store(p.Geometry().SegClientFreeAddr(seg), 3)
+	res := check.Validate(p)
+	if !hasIssue(res, check.BadStructure) {
+		t.Fatalf("out-of-segment free node not reported: %v", res.Issues)
+	}
+}

@@ -21,6 +21,7 @@ const (
 	EvScanStarted                           // segment-local scan of Segment began
 	EvScanFinished                          // scan done; A = reclaimed, B = relinked
 	EvRedoReplayed                          // interrupted txn replayed; A = redo op, B = deciding condition (1/2)
+	EvRecoveryFailed                        // RecoverClient errored; A = failed attempts so far for Client
 )
 
 var eventNames = map[EventType]string{
@@ -31,6 +32,7 @@ var eventNames = map[EventType]string{
 	EvScanStarted:      "scan_started",
 	EvScanFinished:     "scan_finished",
 	EvRedoReplayed:     "redo_replayed",
+	EvRecoveryFailed:   "recovery_failed",
 }
 
 // String returns the event type's stable export name.

@@ -25,12 +25,37 @@ type Monitor struct {
 
 	mu       sync.Mutex
 	lastBeat map[int]uint64
+	seen     map[int]bool // cid has had lastBeat seeded this incarnation
 	misses   map[int]int
 	reports  []Report
 	fences   []FenceRecord
+	failures []RecoveryFailure
+	// deadSeen marks dead clients whose fence has already been recorded, so
+	// a client stuck in ClientDead (recovery erroring) yields one FenceRecord,
+	// not one per tick. Cleared when the slot re-enters ClientAlive.
+	deadSeen map[int]bool
+	// backoff/nextTry implement exponential retry backoff (in ticks) for
+	// clients whose recovery keeps failing.
+	backoff map[int]int
+	nextTry map[int]uint64
+	ticks   uint64
+
+	// recoverFn performs one recovery attempt; defaults to the service's
+	// RecoverClient. Tests override it to inject persistent failures.
+	recoverFn func(cid int) (Report, error)
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// RecoveryFailure records one failed recovery attempt; the monitor retries
+// with exponential backoff and keeps every error here rather than swallowing
+// it.
+type RecoveryFailure struct {
+	Client int       `json:"client"`
+	Time   time.Time `json:"time"`
+	Err    error     `json:"-"`
+	Error  string    `json:"error"`
 }
 
 // FenceRecord describes one fencing decision the monitor acted on: who was
@@ -60,15 +85,21 @@ func NewMonitor(svc *Service, cfg MonitorConfig) *Monitor {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 3
 	}
-	return &Monitor{
+	m := &Monitor{
 		svc:       svc,
 		interval:  cfg.Interval,
 		threshold: cfg.Threshold,
 		lastBeat:  make(map[int]uint64),
+		seen:      make(map[int]bool),
 		misses:    make(map[int]int),
+		deadSeen:  make(map[int]bool),
+		backoff:   make(map[int]int),
+		nextTry:   make(map[int]uint64),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	m.recoverFn = func(cid int) (Report, error) { return svc.RecoverClient(cid) }
+	return m
 }
 
 // Start launches the monitor goroutine.
@@ -98,6 +129,15 @@ func (m *Monitor) Fences() []FenceRecord {
 	defer m.mu.Unlock()
 	out := make([]FenceRecord, len(m.fences))
 	copy(out, m.fences)
+	return out
+}
+
+// Failures returns every failed recovery attempt so far, oldest first.
+func (m *Monitor) Failures() []RecoveryFailure {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RecoveryFailure, len(m.failures))
+	copy(out, m.failures)
 	return out
 }
 
@@ -138,6 +178,7 @@ func (m *Monitor) Tick() {
 	defer m.mu.Unlock()
 
 	p.Obs().Shard(0).Inc(obs.CtrMonitorTick)
+	m.ticks++
 
 	for cid := 1; cid <= geo.MaxClients; cid++ {
 		if cid == self {
@@ -146,7 +187,23 @@ func (m *Monitor) Tick() {
 		status := p.ClientStatus(cid)
 		switch status {
 		case layout.ClientAlive:
+			if m.deadSeen[cid] {
+				// The slot was reused by a new incarnation; forget the old
+				// one's fence and backoff bookkeeping.
+				delete(m.deadSeen, cid)
+				delete(m.backoff, cid)
+				delete(m.nextTry, cid)
+			}
 			beat := dev.Load(geo.ClientHeartbeatAddr(cid))
+			if !m.seen[cid] {
+				// First observation seeds the baseline without counting a
+				// miss: a fresh client whose first beat happens to equal the
+				// map's zero value must not accrue toward a spurious fence.
+				m.seen[cid] = true
+				m.lastBeat[cid] = beat
+				m.misses[cid] = 0
+				break
+			}
 			if beat == m.lastBeat[cid] {
 				m.misses[cid]++
 				if m.misses[cid] >= m.threshold {
@@ -157,6 +214,7 @@ func (m *Monitor) Tick() {
 							Reason: obs.FenceHeartbeat.String(),
 							Misses: m.misses[cid],
 						})
+						m.deadSeen[cid] = true
 						m.recoverLocked(cid)
 					}
 				}
@@ -166,13 +224,20 @@ func (m *Monitor) Tick() {
 			}
 		case layout.ClientDead:
 			// Fenced elsewhere (explicit kill or clean close); the monitor
-			// only owes it recovery, but record that it acted on the fence.
-			m.fences = append(m.fences, FenceRecord{
-				Client: cid,
-				Time:   time.Now(),
-				Reason: "found-dead",
-			})
-			m.recoverLocked(cid)
+			// only owes it recovery. Record that it acted on the fence once —
+			// a client stuck dead because recovery keeps failing must not
+			// grow a fence record per tick.
+			if !m.deadSeen[cid] {
+				m.deadSeen[cid] = true
+				m.fences = append(m.fences, FenceRecord{
+					Client: cid,
+					Time:   time.Now(),
+					Reason: "found-dead",
+				})
+			}
+			if m.ticks >= m.nextTry[cid] {
+				m.recoverLocked(cid)
+			}
 		}
 	}
 
@@ -194,9 +259,35 @@ func (m *Monitor) Tick() {
 }
 
 func (m *Monitor) recoverLocked(cid int) {
-	if r, err := m.svc.RecoverClient(cid); err == nil {
-		m.reports = append(m.reports, r)
+	r, err := m.recoverFn(cid)
+	if err != nil {
+		m.failures = append(m.failures, RecoveryFailure{
+			Client: cid, Time: time.Now(), Err: err, Error: err.Error(),
+		})
+		n := 0
+		for _, f := range m.failures {
+			if f.Client == cid {
+				n++
+			}
+		}
+		m.svc.pool.Obs().Trace(obs.Event{
+			Type: obs.EvRecoveryFailed, Client: cid, A: uint64(n),
+		})
+		b := m.backoff[cid] * 2
+		if b == 0 {
+			b = 2
+		}
+		if b > 64 {
+			b = 64
+		}
+		m.backoff[cid] = b
+		m.nextTry[cid] = m.ticks + uint64(b)
+		return
 	}
+	m.reports = append(m.reports, r)
 	delete(m.lastBeat, cid)
+	delete(m.seen, cid)
 	delete(m.misses, cid)
+	delete(m.backoff, cid)
+	delete(m.nextTry, cid)
 }

@@ -1,0 +1,131 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+func newMonitorPool(t *testing.T) *shm.Pool {
+	t.Helper()
+	p, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 8,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.CloseDevice() })
+	return p
+}
+
+// A client stuck in ClientDead because its recovery keeps failing must yield
+// exactly one found-dead fence record, every error must surface through
+// Failures(), and retries must back off instead of hammering every tick.
+func TestMonitorRecordsFoundDeadOnce(t *testing.T) {
+	p := newMonitorPool(t)
+	x, err := p.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkClientDead(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMonitor(svc, MonitorConfig{})
+	attempts := 0
+	injected := errors.New("injected recovery failure")
+	m.recoverFn = func(cid int) (Report, error) {
+		attempts++
+		return Report{}, injected
+	}
+	for i := 0; i < 6; i++ {
+		m.Tick()
+	}
+
+	var fences int
+	for _, f := range m.Fences() {
+		if f.Client == x.ID() {
+			fences++
+			if f.Reason != "found-dead" {
+				t.Errorf("fence reason = %q, want found-dead", f.Reason)
+			}
+		}
+	}
+	if fences != 1 {
+		t.Fatalf("found-dead fences = %d, want exactly 1", fences)
+	}
+	// Backoff: attempt at tick 1, next at tick 3 (backoff 2), then not again
+	// until tick 7 (backoff 4) — so 6 ticks give exactly 2 attempts.
+	if attempts != 2 {
+		t.Fatalf("recovery attempts in 6 ticks = %d, want 2 (exponential backoff)", attempts)
+	}
+	fails := m.Failures()
+	if len(fails) != 2 {
+		t.Fatalf("Failures() = %d records, want 2", len(fails))
+	}
+	for _, f := range fails {
+		if f.Client != x.ID() || !errors.Is(f.Err, injected) || f.Error == "" {
+			t.Fatalf("bad failure record: %+v", f)
+		}
+	}
+
+	// Let recovery work again: the backoff window expires at tick 7 and the
+	// client must actually be recovered, with the fence still recorded once.
+	m.recoverFn = func(cid int) (Report, error) { return svc.RecoverClient(cid) }
+	for i := 0; i < 2; i++ {
+		m.Tick()
+	}
+	if got := p.ClientStatus(x.ID()); got != layout.ClientRecovered {
+		t.Fatalf("client status after backoff expiry = %d, want recovered", got)
+	}
+	if len(m.Reports()) != 1 {
+		t.Fatalf("reports = %d, want 1", len(m.Reports()))
+	}
+	for _, f := range m.Fences()[1:] {
+		if f.Client == x.ID() {
+			t.Fatalf("extra fence recorded after recovery: %+v", f)
+		}
+	}
+}
+
+// A freshly observed client whose heartbeat counter happens to equal the
+// monitor's zero-valued baseline must not accrue spurious misses: the first
+// observation seeds the baseline, and only later unchanged reads count.
+func TestMonitorHeartbeatBootstrap(t *testing.T) {
+	p := newMonitorPool(t)
+	x, err := p.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the worst case: the first beat the monitor ever sees is 0, equal
+	// to the untracked map's zero value.
+	p.Device().Store(p.Geometry().ClientHeartbeatAddr(x.ID()), 0)
+
+	m := NewMonitor(svc, MonitorConfig{Threshold: 3})
+	for i := 0; i < 3; i++ {
+		m.Tick()
+	}
+	// Tick 1 seeds, ticks 2-3 accrue misses 1-2: still below threshold.
+	if f, ok := m.LastFence(); ok {
+		t.Fatalf("client fenced after %d misses at tick 3: %+v (bootstrap counted as a miss)", f.Misses, f)
+	}
+	// The genuinely silent client is still fenced, one tick later.
+	m.Tick()
+	f, ok := m.LastFence()
+	if !ok || f.Client != x.ID() {
+		t.Fatalf("silent client not fenced by tick 4 (fence=%+v ok=%v)", f, ok)
+	}
+	if f.Misses != 3 {
+		t.Fatalf("fence misses = %d, want 3", f.Misses)
+	}
+}

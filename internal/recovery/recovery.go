@@ -123,10 +123,15 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 		}
 	}
 
-	// Step 5: publish completion.
+	// Step 5: publish completion. The redo entry must be invalidated before
+	// the slot is announced recovered: in the other order, a recovery pass
+	// that itself crashes between the two stores leaves a RECOVERED slot
+	// carrying a valid redo entry, which a later incarnation reusing the slot
+	// would inherit. Clearing first keeps every intermediate state re-runnable
+	// (DEAD + cleared redo just replays nothing).
 	dev := p.Device()
-	dev.Store(geo.ClientStatusAddr(cid), layout.ClientRecovered)
 	p.ClearRedo(cid)
+	dev.Store(geo.ClientStatusAddr(cid), layout.ClientRecovered)
 
 	// Publish the executor's scan/sweep counts before announcing the pass,
 	// so a snapshot taken after the recovery sees exact totals.
@@ -389,10 +394,19 @@ func (s *Service) abandonSegment(seg int) {
 // hint so the next claimer's scan starts here.
 func (s *Service) freeSegment(seg int) {
 	p := s.pool
-	a := p.Geometry().SegStateAddr(seg)
-	st := layout.UnpackSegState(p.Device().Load(a))
-	p.Device().Store(a, layout.PackSegState(layout.SegState{
+	geo := p.Geometry()
+	dev := p.Device()
+	// Scrub the segment-base header/meta words before releasing: a huge
+	// object's data lands on its body segments' bases, and whatever it wrote
+	// there must not be mistaken for a block header by the next owner's
+	// mid-claim recovery.
+	base := geo.SegmentBase(seg)
+	dev.Store(base+layout.HeaderOff, 0)
+	dev.Store(base+layout.MetaOff, 0)
+	a := geo.SegStateAddr(seg)
+	st := layout.UnpackSegState(dev.Load(a))
+	dev.Store(a, layout.PackSegState(layout.SegState{
 		Version: st.Version + 1, State: layout.SegFree,
 	}))
-	p.Device().Store(p.Geometry().SegFreeHintAddr(), uint64(seg)+1)
+	dev.Store(geo.SegFreeHintAddr(), uint64(seg)+1)
 }

@@ -352,6 +352,38 @@ func scenario(t *testing.T, x, o *shm.Client) (oRoots []layout.Addr) {
 	rb, _, err := o.Receive(q)
 	must(err)
 	oRoots = append(oRoots, rb)
+
+	// Batched send/receive on the same queue: the per-slot crash points fire
+	// once per element, but head/tail publish only once per batch, so a crash
+	// mid-batch strands a different prefix than the single-shot paths.
+	var batch, batchRoots []layout.Addr
+	for i := 0; i < 3; i++ {
+		r, b, err := x.Malloc(64, 0)
+		must(err)
+		batch = append(batch, b)
+		batchRoots = append(batchRoots, r)
+	}
+	n, err := x.SendBatch(q, batch)
+	must(err)
+	if n != len(batch) {
+		t.Fatalf("scenario: short batch send %d of %d", n, len(batch))
+	}
+	for _, r := range batchRoots { // slots own the references now
+		_, err = x.ReleaseRoot(r)
+		must(err)
+	}
+	// o2 is still queued ahead of the batch; take three in batches (the
+	// cached-tail shadow may serve a short first batch) so one batched
+	// message stays in flight for recovery to deal with.
+	for got := 0; got < 3; {
+		broots, _, err := o.ReceiveBatch(q, 3-got)
+		must(err)
+		if len(broots) == 0 {
+			t.Fatal("scenario: batch receive made no progress")
+		}
+		got += len(broots)
+		oRoots = append(oRoots, broots...)
+	}
 	_, err = x.ReleaseRoot(qr) // x drops the queue; o2 still in flight
 	must(err)
 

@@ -1,0 +1,329 @@
+package recovery_test
+
+// Named-crash-point regression tests for the bugs the access-granular sweep
+// (internal/sweep) shook out. Each test pins the exact crash position that
+// exposed the bug and fails on pre-fix code.
+
+import (
+	"testing"
+
+	"repro/internal/cxl"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// A sender that crashes between the slot attach and the tail publication
+// leaves an orphaned reference at the (unmoved) tail position. The next
+// sender reusing the ring must reclaim it; overwriting the slot word leaks
+// the orphan's target permanently. Found by `faultsim -repro "op=send
+// access=18"`.
+func TestQueueOrphanSlotReuse(t *testing.T) {
+	p := newTestPool(t)
+	defer p.CloseDevice()
+	x := connect(t, p)
+	o := connect(t, p)
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q, err := x.CreateQueue(o.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq, err := o.OpenQueue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x.SetInjector(faultinject.At(faultinject.AfterSendAttach, 1))
+	crash := faultinject.Run(func() {
+		_, b, err := x.Malloc(64, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = x.Send(q, b)
+	})
+	if crash == nil {
+		t.Fatal("expected crash at AfterSendAttach")
+	}
+	if err := p.MarkClientDead(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RecoverClient(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new sender incarnation fills the whole ring — its first send lands on
+	// the orphaned slot — and the receiver drains it.
+	n := connect(t, p)
+	for i := 0; i < 4; i++ {
+		r, b, err := n.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Send(q, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.ReleaseRoot(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		roots, _, err := o.ReceiveBatch(q, 4)
+		if err == shm.ErrQueueEmpty {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range roots {
+			if _, err := o.ReleaseRoot(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := o.ReleaseRoot(oq); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 6; i++ {
+		mon.Tick()
+	}
+	res := mustClean(t, p, "orphan slot reuse")
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked (orphaned queue slot overwritten?)", res.AllocatedObjects)
+	}
+}
+
+// Freed huge-object segments must have their base header/meta words zeroed:
+// if old payload at a recycled segment's base spells out a plausible
+// committed header, recovery of a client that crashed mid-claim would
+// mistake the garbage for a live object. Found by extending the sweep
+// workload with a payload-dirtying step.
+func TestHugeRecycleGarbageHeader(t *testing.T) {
+	p, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
+		MaxClients: 4, NumSegments: 5, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.CloseDevice()
+	// Claim-cursor striping: x starts scans at seg 0, y at 1, z at 2.
+	x := connect(t, p)
+	y := connect(t, p)
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// x's root page takes seg 0 and y's seg 1, so the huge object spans
+	// segs 2-3: head 2, body 3.
+	ry, _, err := y.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hugeSize = 65 * 1024
+	rh, bh, err := x.Malloc(hugeSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload that happens to look like a committed allocated-huge header at
+	// the body segment's base words. The head's base is scrubbed by the
+	// ordinary free path; only recycled *body* bases can carry garbage.
+	segWords := int(p.Geometry().SegmentWords)
+	fakeHdr := layout.PackHeader(layout.Header{LCID: uint16(x.ID()), LEra: 1, RefCnt: 2})
+	fakeMeta := layout.PackMeta(layout.Meta{
+		Flags:      layout.MetaAllocated | layout.MetaHuge,
+		BlockWords: uint64(hugeSize/layout.WordBytes + layout.BlockHeaderWords),
+	})
+	x.StoreWord(bh, segWords-layout.DataOff+layout.HeaderOff, fakeHdr)
+	x.StoreWord(bh, segWords-layout.DataOff+layout.MetaOff, fakeMeta)
+	if _, err := x.ReleaseRoot(rh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the freed head segment (2) so the next huge claim's head lands
+	// on seg 3 — the dirtied former body base.
+	z := connect(t, p)
+	rz, _, err := z.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.SetInjector(faultinject.At(faultinject.AfterHugeClaim, 2))
+	crash := faultinject.Run(func() { _, _, _ = x.Malloc(hugeSize, 0) })
+	if crash == nil {
+		t.Fatal("expected crash mid huge claim")
+	}
+	if err := p.MarkClientDead(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.RecoverClient(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := y.ReleaseRoot(ry); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.ReleaseRoot(rz); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 6; i++ {
+		mon.Tick()
+	}
+	res := mustClean(t, p, "huge recycle")
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects kept alive by recycled garbage header", res.AllocatedObjects)
+	}
+}
+
+// Recovery must invalidate the victim's redo entry before publishing
+// RECOVERED: in the other order, a recovery pass that itself crashes between
+// the two stores leaves a RECOVERED slot carrying a valid redo entry for the
+// next incarnation to inherit. The test sweeps every device write of the
+// recovery pass and asserts the poisonous intermediate state never exists.
+func TestRecoveryClearsRedoBeforePublish(t *testing.T) {
+	run := func(sw *faultinject.AccessSweeper) (*shm.Pool, *recovery.Service, int) {
+		p, err := shm.NewPool(shm.Config{
+			Geometry: layout.GeometryConfig{
+				MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13, PageWords: 1 << 9, MaxQueues: 8,
+			},
+			Middleware: []cxl.Middleware{cxl.WithAccessHook(sw.Hook)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := p.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := recovery.NewService(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, b, err := x.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Crash with the redo entry committed but not replayed.
+		x.SetInjector(faultinject.At(faultinject.AfterCommitCAS, 1))
+		if crash := faultinject.Run(func() { _, _ = x.AttachRoot(b) }); crash == nil {
+			t.Fatal("expected crash at AfterCommitCAS")
+		}
+		if err := p.MarkClientDead(x.ID()); err != nil {
+			t.Fatal(err)
+		}
+		return p, svc, x.ID()
+	}
+
+	// Counting pass: how many writes does this recovery issue?
+	sw := faultinject.NewAccessSweeper()
+	p, svc, victim := run(sw)
+	sw.StartCounting()
+	if _, err := svc.RecoverClient(victim); err != nil {
+		t.Fatal(err)
+	}
+	writes := sw.StopCounting()
+	p.CloseDevice()
+	if writes == 0 {
+		t.Fatal("recovery issued no writes")
+	}
+
+	for r := 1; r <= writes; r++ {
+		sw := faultinject.NewAccessSweeper()
+		p, svc, victim := run(sw)
+		sw.Arm(r)
+		crash := faultinject.Run(func() { _, _ = svc.RecoverClient(victim) })
+		sw.Disarm()
+		if crash != nil {
+			_, redoValid := p.ReadRedo(victim)
+			if p.ClientStatus(victim) == layout.ClientRecovered && redoValid {
+				t.Fatalf("recovery crash at write %d/%d left RECOVERED slot with valid redo entry", r, writes)
+			}
+		}
+		p.CloseDevice()
+	}
+}
+
+// SendBatch and ReceiveBatch must walk the same per-slot crash points as the
+// single-shot paths — a batch of 3 hits each point 3 times. This pins the
+// batched paths into every named-point campaign.
+func TestBatchedQueuePointsCovered(t *testing.T) {
+	p := newTestPool(t)
+	defer p.CloseDevice()
+	x := connect(t, p)
+	o := connect(t, p)
+	qr, q, err := x.CreateQueue(o.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq, err := o.OpenQueue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blocks []layout.Addr
+	var roots []layout.Addr
+	for i := 0; i < 3; i++ {
+		r, b, err := x.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, r)
+		blocks = append(blocks, b)
+	}
+	sendInj := faultinject.At(faultinject.AfterSendAttach, 1000) // count, never fire
+	x.SetInjector(sendInj)
+	n, err := x.SendBatch(q, blocks)
+	if err != nil || n != 3 {
+		t.Fatalf("SendBatch = %d, %v", n, err)
+	}
+	if got := sendInj.Hits(); got != 3 {
+		t.Fatalf("AfterSendAttach hit %d times in a 3-batch, want 3", got)
+	}
+	for _, r := range roots {
+		if _, err := x.ReleaseRoot(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recvInj := faultinject.At(faultinject.AfterReceiveAttach, 1000)
+	o.SetInjector(recvInj)
+	rroots, _, err := o.ReceiveBatch(q, 4)
+	if err != nil || len(rroots) != 3 {
+		t.Fatalf("ReceiveBatch = %d, %v", len(rroots), err)
+	}
+	if got := recvInj.Hits(); got != 3 {
+		t.Fatalf("AfterReceiveAttach hit %d times in a 3-batch, want 3", got)
+	}
+	for _, r := range rroots {
+		if _, err := o.ReleaseRoot(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := x.ReleaseRoot(qr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReleaseRoot(oq); err != nil {
+		t.Fatal(err)
+	}
+	res := mustClean(t, p, "batched points")
+	if res.AllocatedObjects != 0 {
+		t.Fatalf("%d objects leaked", res.AllocatedObjects)
+	}
+}

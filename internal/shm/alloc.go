@@ -626,7 +626,15 @@ func (c *Client) hugeRunScan(lo, hi, k int) int {
 // hint so the next claimer skips its scan. Live clients never release their
 // active (shadowed) segments — this runs on huge-run rollbacks, huge frees,
 // and dead owners' segments — so no shadow needs invalidating.
+// Before the state flips to FREE, the segment-base header/meta words are
+// scrubbed: a huge object's payload covers its body segments' bases, and a
+// recycled segment whose base still spells out a plausible header would
+// derail the next owner's mid-claim recovery (sweepHugeOwned trusts the head
+// header it reads there).
 func (c *Client) releaseSegment(i int) {
+	base := c.geo.SegmentBase(i)
+	c.h.Store(base+layout.HeaderOff, 0)
+	c.h.Store(base+layout.MetaOff, 0)
 	a := c.geo.SegStateAddr(i)
 	st := layout.UnpackSegState(c.h.Load(a))
 	c.h.Store(a, layout.PackSegState(layout.SegState{

@@ -132,6 +132,10 @@ func (p *Pool) Connect() (*Client, error) {
 			c.eraRow[j] = uint32(p.dev.Load(geo.EraAddr(cid, j)))
 		}
 	}
+	// Defensive: a redo entry of a previous incarnation must never survive
+	// into this one (recovery clears it before publishing RECOVERED, but the
+	// slot may also be claimed straight from FREE after an external reset).
+	c.clearRedo()
 	c.Heartbeat()
 	return c, nil
 }

@@ -190,6 +190,12 @@ func (c *Client) freeHuge(block layout.Addr, m layout.Meta) {
 		a := c.geo.SegStateAddr(head + j)
 		st := layout.UnpackSegState(c.h.Load(a))
 		if st.CID == owner && st.State == layout.SegHugeBody {
+			// The object's payload covered this segment's base words; scrub
+			// them so a future claimer's crash recovery never reads leftover
+			// payload as a block header (see releaseSegment).
+			bb := c.geo.SegmentBase(head + j)
+			c.h.Store(bb+layout.HeaderOff, 0)
+			c.h.Store(bb+layout.MetaOff, 0)
 			c.h.Store(a, layout.PackSegState(layout.SegState{
 				Version: st.Version + 1, State: layout.SegFree,
 			}))

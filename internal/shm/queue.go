@@ -199,6 +199,9 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 		}
 	}
 	slot := queueSlot(block, qs.capacity, qs.tail)
+	if err := c.reclaimOrphanSlot(slot); err != nil {
+		return err
+	}
 	if err := c.AttachReference(slot, target); err != nil {
 		return err
 	}
@@ -206,6 +209,31 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 	qs.tail++
 	c.h.Store(qs.tailA, qs.tail)
 	c.loc[obs.CtrQueueSend]++
+	return nil
+}
+
+// reclaimOrphanSlot drops the reference a crashed sender incarnation left in
+// a queue slot it never published: its attach landed but the tail store did
+// not, so ownership never transferred and, to the receiver, the send never
+// happened. The slot is still at the sender's cursor position (the tail did
+// not move), so the next send to it must release the orphan first —
+// overwriting the slot word would leave the target's count holding a
+// reference no slot records, a permanent leak.
+func (c *Client) reclaimOrphanSlot(slot layout.Addr) error {
+	old := c.h.Load(slot)
+	if old == 0 {
+		return nil
+	}
+	c.loc[obs.CtrQueueStaleSlot]++
+	if _, err := c.ReleaseReference(slot, old); err != nil {
+		if err == ErrStaleReference {
+			// The target was reclaimed under the orphan (dead-owner scan);
+			// just drop the dangling word.
+			c.h.Store(slot, 0)
+			return nil
+		}
+		return err
+	}
 	return nil
 }
 
@@ -242,6 +270,10 @@ func (c *Client) SendBatch(block layout.Addr, targets []layout.Addr) (int, error
 	}
 	for i := 0; i < n; i++ {
 		slot := queueSlot(block, qs.capacity, qs.tail+uint64(i))
+		if err := c.reclaimOrphanSlot(slot); err != nil {
+			publish(i)
+			return i, err
+		}
 		if err := c.AttachReference(slot, targets[i]); err != nil {
 			publish(i)
 			return i, err

@@ -1,0 +1,778 @@
+// Package sweep implements the exhaustive access-granular crash sweep: for
+// every operation of a scripted two-client workload it first counts the
+// operation's device writes (stores and CAS attempts), then re-runs the
+// script once per write index, crashing the acting client exactly before
+// that access. After every crash it runs recovery, drains and releases
+// everything a survivor can reach, and fscks the whole pool — so each
+// (operation, write index) pair is a complete crash-recover-validate story.
+//
+// Named crash points (internal/faultinject.AllPoints) cover the gaps the
+// implementation knows about; the sweep covers the gaps it doesn't. Phase B
+// extends the same idea to the recovery pass itself: crash the victim, then
+// crash the recovery executor at every one of its writes, recover both, and
+// validate.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/cxl"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// Config tunes a sweep run.
+type Config struct {
+	// Backend is the device backend for every pool: "heap" (default) or
+	// "mmap".
+	Backend string
+	// MaxWrites bounds crash positions per operation (0 = every write). When
+	// an operation has more writes, positions are stride-sampled but always
+	// include the first and last write.
+	MaxWrites int
+	// RecoverySweep enables phase B: for each operation, crash the victim at
+	// its first write, then sweep every device write of the recovery pass.
+	RecoverySweep bool
+	// Op restricts the sweep to the named operation (repro mode).
+	Op string
+	// Access restricts to one crash position (requires Op).
+	Access int
+	// RecoveryAccess, with Op, reproduces one phase-B position: the victim
+	// crashes at its first write, the recovery executor at this write.
+	RecoveryAccess int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Violation is one invariant failure found by the sweep, with enough
+// coordinates to reproduce it deterministically.
+type Violation struct {
+	Op             string
+	Access         int
+	RecoveryAccess int // 0 for phase-A violations
+	Backend        string
+	Detail         string
+}
+
+// Repro formats the minimal-repro faultsim invocation for this violation.
+func (v Violation) Repro() string {
+	s := fmt.Sprintf("faultsim -repro \"op=%s access=%d", v.Op, v.Access)
+	if v.RecoveryAccess > 0 {
+		s += fmt.Sprintf(" recovery-access=%d", v.RecoveryAccess)
+	}
+	b := v.Backend
+	if b == "" {
+		b = "heap"
+	}
+	return s + fmt.Sprintf("\" -backend %s", b)
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Repro(), v.Detail)
+}
+
+// Stats summarizes a sweep.
+type Stats struct {
+	Ops               int // operations swept
+	Positions         int // phase-A crash positions executed
+	RecoveryPositions int // phase-B crash positions executed
+}
+
+// hugeBytes spans 8 of the 16 sweep segments, so the second huge allocation
+// must recycle the first one's segments (the remaining free run is too
+// short) — exercising recovery over recycled segment bases.
+const hugeBytes = 500 * 1024
+
+func geometry() layout.GeometryConfig {
+	return layout.GeometryConfig{
+		MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13,
+		PageWords: 1 << 9, MaxQueues: 8,
+	}
+}
+
+// env is the per-run workload state: the pool, the two scripted clients, the
+// recovery service, and the addresses the ops thread through. receipts is
+// the exactly-once ledger: payload id -> times delivered.
+type env struct {
+	p   *shm.Pool
+	x   *shm.Client // primary actor (allocations, sends)
+	o   *shm.Client // peer (receives, queue end)
+	svc *recovery.Service
+
+	r1, b1     layout.Addr // long-lived small object, published as named root 0
+	rp, parent layout.Addr // embed-carrying parent
+	rh, rh2    layout.Addr // huge-object roots
+	bh         layout.Addr // first huge object's block
+	qr, q, oq  layout.Addr // queue: x's root, block, o's root
+
+	nextPayload uint64
+	receipts    map[uint64]int
+}
+
+// op is one scripted step: who performs it and what it does.
+type op struct {
+	name  string
+	actor func(*env) *shm.Client
+	run   func(*env) error
+}
+
+func actorX(e *env) *shm.Client { return e.x }
+func actorO(e *env) *shm.Client { return e.o }
+
+// sendFrom allocates a payload, stamps it with a fresh id, sends it, and
+// drops the sender's root (the queue slot now owns the reference).
+func sendFrom(e *env, c *shm.Client) error {
+	id := e.nextPayload + 1
+	r, b, err := c.Malloc(64, 0)
+	if err != nil {
+		return err
+	}
+	e.nextPayload = id
+	c.StoreWord(b, 0, id)
+	if err := c.Send(e.q, b); err != nil {
+		return err
+	}
+	_, err = c.ReleaseRoot(r)
+	return err
+}
+
+func sendOne(e *env) error { return sendFrom(e, e.x) }
+
+// recordReceipt notes one delivery and releases the receiver's root.
+func recordReceipt(e *env, c *shm.Client, root, target layout.Addr) error {
+	e.receipts[c.LoadWord(target, 0)]++
+	_, err := c.ReleaseRoot(root)
+	return err
+}
+
+// script builds the operation list. Every run replays the same sequence, so
+// write counts are reproducible position by position.
+func script() []op {
+	return []op{
+		{"malloc-small", actorX, func(e *env) error {
+			var err error
+			e.r1, e.b1, err = e.x.Malloc(64, 0)
+			return err
+		}},
+		{"clone-root", actorX, func(e *env) error {
+			e.x.CloneRoot(e.r1)
+			_, err := e.x.ReleaseRoot(e.r1)
+			return err
+		}},
+		{"publish-root", actorX, func(e *env) error {
+			return e.x.PublishRoot(0, e.b1)
+		}},
+		{"malloc-embed", actorX, func(e *env) error {
+			var err error
+			e.rp, e.parent, err = e.x.Malloc(64, 2)
+			return err
+		}},
+		{"set-embed", actorX, func(e *env) error {
+			rc, ch, err := e.x.Malloc(32, 0)
+			if err != nil {
+				return err
+			}
+			if err := e.x.SetEmbed(e.parent, 0, ch); err != nil {
+				return err
+			}
+			_, err = e.x.ReleaseRoot(rc)
+			return err
+		}},
+		{"change-embed", actorX, func(e *env) error {
+			ry, y, err := e.x.Malloc(32, 1)
+			if err != nil {
+				return err
+			}
+			rg, g, err := e.x.Malloc(16, 0)
+			if err != nil {
+				return err
+			}
+			if err := e.x.SetEmbed(y, 0, g); err != nil {
+				return err
+			}
+			if _, err := e.x.ReleaseRoot(rg); err != nil {
+				return err
+			}
+			if err := e.x.ChangeEmbed(e.parent, 0, y); err != nil {
+				return err
+			}
+			_, err = e.x.ReleaseRoot(ry)
+			return err
+		}},
+		{"clear-embed", actorX, func(e *env) error {
+			return e.x.ClearEmbed(e.parent, 0)
+		}},
+		{"free-embed", actorX, func(e *env) error {
+			_, err := e.x.ReleaseRoot(e.rp)
+			return err
+		}},
+		{"malloc-huge", actorX, func(e *env) error {
+			var err error
+			e.rh, e.bh, err = e.x.Malloc(hugeBytes, 0)
+			return err
+		}},
+		{"dirty-huge", actorX, func(e *env) error {
+			// Write payload that spells out a plausible allocated-huge
+			// header/meta at each body segment's base words: after the free,
+			// a recycled claim's crash recovery must not mistake the leftover
+			// payload for a live object.
+			geo := e.p.Geometry()
+			segWords := int(geo.SegmentWords)
+			dataWords := hugeBytes / layout.WordBytes
+			span := (dataWords + layout.BlockHeaderWords + segWords - 1) / segWords
+			fakeHdr := layout.PackHeader(layout.Header{
+				LCID: uint16(e.x.ID()), LEra: 7, RefCnt: 2,
+			})
+			fakeMeta := layout.PackMeta(layout.Meta{
+				Flags:      layout.MetaAllocated | layout.MetaHuge,
+				BlockWords: uint64(dataWords + layout.BlockHeaderWords),
+			})
+			for j := 1; j < span; j++ {
+				base := j*segWords - layout.DataOff
+				e.x.StoreWord(e.bh, base+layout.HeaderOff, fakeHdr)
+				e.x.StoreWord(e.bh, base+layout.MetaOff, fakeMeta)
+			}
+			return nil
+		}},
+		{"free-huge", actorX, func(e *env) error {
+			_, err := e.x.ReleaseRoot(e.rh)
+			return err
+		}},
+		{"malloc-huge-2", actorX, func(e *env) error {
+			var err error
+			e.rh2, _, err = e.x.Malloc(hugeBytes, 0)
+			return err
+		}},
+		{"free-huge-2", actorX, func(e *env) error {
+			_, err := e.x.ReleaseRoot(e.rh2)
+			return err
+		}},
+		{"create-queue", actorX, func(e *env) error {
+			var err error
+			e.qr, e.q, err = e.x.CreateQueue(e.o.ID(), 4)
+			return err
+		}},
+		{"open-queue", actorO, func(e *env) error {
+			var err error
+			e.oq, err = e.o.OpenQueue(e.q)
+			return err
+		}},
+		{"send", actorX, sendOne},
+		{"receive", actorO, func(e *env) error {
+			root, target, err := e.o.Receive(e.q)
+			if err != nil {
+				return err
+			}
+			return recordReceipt(e, e.o, root, target)
+		}},
+		{"send-batch", actorX, func(e *env) error {
+			var targets []layout.Addr
+			var roots []layout.Addr
+			for i := 0; i < 3; i++ {
+				id := e.nextPayload + 1
+				r, b, err := e.x.Malloc(64, 0)
+				if err != nil {
+					return err
+				}
+				e.nextPayload = id
+				e.x.StoreWord(b, 0, id)
+				roots = append(roots, r)
+				targets = append(targets, b)
+			}
+			n, err := e.x.SendBatch(e.q, targets)
+			if err != nil {
+				return err
+			}
+			if n != len(targets) {
+				return fmt.Errorf("send-batch sent %d of %d", n, len(targets))
+			}
+			for _, r := range roots {
+				if _, err := e.x.ReleaseRoot(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"receive-batch", actorO, func(e *env) error {
+			roots, targets, err := e.o.ReceiveBatch(e.q, 4)
+			if err != nil {
+				return err
+			}
+			for i := range roots {
+				if err := recordReceipt(e, e.o, roots[i], targets[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"scan", actorX, func(e *env) error {
+			seg := e.p.Geometry().SegmentIndexOf(e.b1)
+			e.x.ScanSegment(seg, false)
+			return nil
+		}},
+		{"unpublish-root", actorX, func(e *env) error {
+			return e.x.UnpublishRoot(0)
+		}},
+		{"release-root", actorX, func(e *env) error {
+			_, err := e.x.ReleaseRoot(e.r1)
+			return err
+		}},
+		{"release-queue", actorX, func(e *env) error {
+			_, err := e.x.ReleaseRoot(e.qr)
+			return err
+		}},
+		{"close-queue", actorO, func(e *env) error {
+			_, err := e.o.ReleaseRoot(e.oq)
+			return err
+		}},
+	}
+}
+
+// positions returns the crash positions for an operation with w writes,
+// bounded by cap (0 = all). Sampling always keeps the first and last write:
+// the edges are where ordering bugs live.
+func positions(w, cap int) []int {
+	if w <= 0 {
+		return nil
+	}
+	if cap <= 0 || w <= cap {
+		out := make([]int, 0, w)
+		for j := 1; j <= w; j++ {
+			out = append(out, j)
+		}
+		return out
+	}
+	stride := (w + cap - 1) / cap
+	var out []int
+	for j := 1; j <= w; j += stride {
+		out = append(out, j)
+	}
+	if out[len(out)-1] != w {
+		out = append(out, w)
+	}
+	return out
+}
+
+// setup builds a fresh pool with the sweeper hooked in, connects the two
+// scripted clients and the recovery service, and returns the run env.
+// Connection order is fixed (x=1, o=2, executor=3) so write counts are
+// reproducible.
+func setup(backend string, sw *faultinject.AccessSweeper) (*env, error) {
+	p, err := shm.NewPool(shm.Config{
+		Geometry:   geometry(),
+		Backend:    backend,
+		Middleware: []cxl.Middleware{cxl.WithAccessHook(sw.Hook)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &env{p: p, receipts: make(map[uint64]int)}
+	if e.x, err = p.Connect(); err != nil {
+		p.CloseDevice()
+		return nil, err
+	}
+	if e.o, err = p.Connect(); err != nil {
+		p.CloseDevice()
+		return nil, err
+	}
+	if e.svc, err = recovery.NewService(p); err != nil {
+		p.CloseDevice()
+		return nil, err
+	}
+	return e, nil
+}
+
+// replay runs ops[0:k] with the sweeper off; these must all succeed.
+func replay(e *env, ops []op, k int) error {
+	for i := 0; i < k; i++ {
+		if err := ops[i].run(e); err != nil {
+			return fmt.Errorf("replaying %s: %w", ops[i].name, err)
+		}
+	}
+	return nil
+}
+
+func alive(e *env, c *shm.Client) bool {
+	return c != nil && e.p.ClientStatus(c.ID()) == layout.ClientAlive
+}
+
+// queueLive reports whether the scripted queue block still exists as a
+// queue (it is freed once both roots are gone).
+func queueLive(e *env) bool {
+	if e.q == 0 {
+		return false
+	}
+	m := layout.UnpackMeta(e.p.Device().Load(e.q + layout.MetaOff))
+	return m.Allocated() && m.Flags&layout.MetaQueue != 0
+}
+
+// finish is the epilogue every run shares: drain the queue through a live
+// client, drop the named root, close the survivors, run the monitor until
+// the pool settles, and fsck. Any inconsistency (or a payload delivered
+// twice) becomes a Violation with the run's coordinates.
+func finish(e *env, svc *recovery.Service, v Violation) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		v.Detail = fmt.Sprintf(format, args...)
+		out = append(out, v)
+	}
+
+	// A helper client for epilogue work no scripted survivor can do.
+	nc, err := e.p.Connect()
+	if err != nil {
+		bad("epilogue connect: %v", err)
+		return out
+	}
+
+	drainer := nc
+	if alive(e, e.o) {
+		drainer = e.o
+	}
+	drain := func() {
+		for queueLive(e) && drainer.QueueLen(e.q) > 0 {
+			roots, targets, err := drainer.ReceiveBatch(e.q, 4)
+			if err == shm.ErrQueueEmpty {
+				continue // stale slots consumed; QueueLen re-checks progress
+			}
+			if err != nil {
+				bad("drain: %v", err)
+				return
+			}
+			for i := range roots {
+				if rerr := recordReceipt(e, drainer, roots[i], targets[i]); rerr != nil {
+					bad("drain release: %v", rerr)
+				}
+			}
+		}
+	}
+	if queueLive(e) {
+		drain()
+		// Refill wave: a surviving sender keeps using the ring across the
+		// crash, landing a send on every slot. A crashed send's orphan sits
+		// exactly at the old tail, so the first new send must reclaim it —
+		// overwriting it instead is a leak only this reuse exposes.
+		sender := nc
+		if alive(e, e.x) {
+			sender = e.x
+		}
+		m := layout.UnpackMeta(e.p.Device().Load(e.q + layout.MetaOff))
+		for i := 0; i < int(m.EmbedCnt); i++ {
+			if err := sendFrom(e, sender); err != nil {
+				bad("refill send %d/%d: %v", i+1, m.EmbedCnt, err)
+				break
+			}
+		}
+		drain()
+	}
+
+	// Drop the named root if still published.
+	if e.p.Device().Load(e.p.Geometry().RootDirAddr(0)) != 0 {
+		if err := nc.UnpublishRoot(0); err != nil {
+			bad("unpublish: %v", err)
+		}
+	}
+
+	// Survivors' caches must still agree with the device before they go.
+	for _, c := range []*shm.Client{e.x, e.o} {
+		if alive(e, c) {
+			if err := c.CheckShadow(); err != nil {
+				bad("shadow incoherent on client %d: %v", c.ID(), err)
+			}
+		}
+	}
+
+	for _, c := range []*shm.Client{e.x, e.o, nc} {
+		if alive(e, c) {
+			if err := c.Close(); err != nil {
+				bad("close client %d: %v", c.ID(), err)
+			}
+		}
+	}
+
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{})
+	for i := 0; i < 8; i++ {
+		mon.Tick()
+	}
+	if fails := mon.Failures(); len(fails) > 0 {
+		bad("monitor recovery failure: client %d: %v", fails[0].Client, fails[0].Err)
+	}
+
+	res := check.Validate(e.p)
+	if !res.Clean() {
+		var lines []string
+		for i, is := range res.Issues {
+			if i == 3 {
+				lines = append(lines, fmt.Sprintf("... %d more", len(res.Issues)-3))
+				break
+			}
+			lines = append(lines, is.String())
+		}
+		bad("fsck: %s", strings.Join(lines, "; "))
+	} else if res.AllocatedObjects != 0 {
+		bad("fsck: %d objects survive a fully-released run", res.AllocatedObjects)
+	}
+
+	for id, n := range e.receipts {
+		if n > 1 {
+			bad("payload %d delivered %d times", id, n)
+		}
+	}
+	return out
+}
+
+// Run executes the sweep and returns every violation found.
+func Run(cfg Config) ([]Violation, Stats, error) {
+	var vs []Violation
+	var st Stats
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	ops := script()
+	if cfg.Op != "" {
+		found := false
+		for _, o := range ops {
+			if o.name == cfg.Op {
+				found = true
+			}
+		}
+		if !found {
+			return nil, st, fmt.Errorf("sweep: unknown op %q", cfg.Op)
+		}
+	}
+
+	// Baseline: the full script with no crash must validate clean, or every
+	// position's verdict is meaningless.
+	if cfg.Op == "" {
+		sw := faultinject.NewAccessSweeper()
+		e, err := setup(cfg.Backend, sw)
+		if err != nil {
+			return nil, st, err
+		}
+		berr := replay(e, ops, len(ops))
+		v := Violation{Op: "baseline", Backend: cfg.Backend}
+		if berr != nil {
+			vs = append(vs, Violation{Op: "baseline", Backend: cfg.Backend, Detail: berr.Error()})
+		} else {
+			vs = append(vs, finish(e, e.svc, v)...)
+		}
+		e.p.CloseDevice()
+		if len(vs) > 0 {
+			return vs, st, nil
+		}
+	}
+
+	for k, o := range ops {
+		if cfg.Op != "" && o.name != cfg.Op {
+			continue
+		}
+		st.Ops++
+
+		// Counting pass: how many device writes does this op issue for its
+		// actor?
+		sw := faultinject.NewAccessSweeper()
+		e, err := setup(cfg.Backend, sw)
+		if err != nil {
+			return vs, st, err
+		}
+		if err := replay(e, ops, k); err != nil {
+			e.p.CloseDevice()
+			return vs, st, err
+		}
+		sw.SetVictim(o.actor(e).ID())
+		sw.StartCounting()
+		operr := o.run(e)
+		writes := sw.StopCounting()
+		e.p.CloseDevice()
+		if operr != nil {
+			return vs, st, fmt.Errorf("op %s failed uninjected: %w", o.name, operr)
+		}
+
+		if cfg.RecoveryAccess > 0 {
+			// Repro of a phase-B position: skip phase A entirely.
+			rv, err := runRecoveryPosition(cfg, ops, k, cfg.RecoveryAccess)
+			if err != nil {
+				return vs, st, err
+			}
+			st.RecoveryPositions++
+			vs = append(vs, rv...)
+			continue
+		}
+
+		pos := positions(writes, cfg.MaxWrites)
+		if cfg.Access > 0 {
+			pos = []int{cfg.Access}
+		}
+		logf("op %-14s writes=%-3d positions=%d", o.name, writes, len(pos))
+		for _, j := range pos {
+			rv, err := runPosition(cfg, ops, k, j)
+			if err != nil {
+				return vs, st, err
+			}
+			st.Positions++
+			vs = append(vs, rv...)
+		}
+
+		if cfg.RecoverySweep {
+			rvs, n, err := sweepRecovery(cfg, ops, k, logf)
+			if err != nil {
+				return vs, st, err
+			}
+			st.RecoveryPositions += n
+			vs = append(vs, rvs...)
+		}
+	}
+	return vs, st, nil
+}
+
+// runPosition is one phase-A story: replay to op k, crash its actor at write
+// j, recover, epilogue, fsck.
+func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
+	v := Violation{Op: ops[k].name, Access: j, Backend: cfg.Backend}
+	sw := faultinject.NewAccessSweeper()
+	e, err := setup(cfg.Backend, sw)
+	if err != nil {
+		return nil, err
+	}
+	defer e.p.CloseDevice()
+	if err := replay(e, ops, k); err != nil {
+		return nil, err
+	}
+	victim := ops[k].actor(e)
+	sw.SetVictim(victim.ID())
+	sw.Arm(j)
+	var operr error
+	crash := faultinject.Run(func() { operr = ops[k].run(e) })
+	sw.Disarm()
+	if crash == nil {
+		if operr != nil {
+			v.Detail = fmt.Sprintf("op error without crash: %v", operr)
+			return []Violation{v}, nil
+		}
+		// The op finished before write j (count drift would be a harness
+		// bug); validate the completed run anyway.
+		return finish(e, e.svc, v), nil
+	}
+	if err := e.p.MarkClientDead(victim.ID()); err != nil {
+		v.Detail = fmt.Sprintf("mark dead: %v", err)
+		return []Violation{v}, nil
+	}
+	if _, err := e.svc.RecoverClient(victim.ID()); err != nil {
+		v.Detail = fmt.Sprintf("recover: %v", err)
+		return []Violation{v}, nil
+	}
+	return finish(e, e.svc, v), nil
+}
+
+// sweepRecovery is phase B for op k: crash the victim at its first write,
+// then crash the recovery pass at every one of its own device writes.
+func sweepRecovery(cfg Config, ops []op, k int, logf func(string, ...any)) ([]Violation, int, error) {
+	// Counting pass for the recovery writes.
+	sw := faultinject.NewAccessSweeper()
+	e, err := setup(cfg.Backend, sw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := replay(e, ops, k); err != nil {
+		e.p.CloseDevice()
+		return nil, 0, err
+	}
+	victim := ops[k].actor(e)
+	sw.SetVictim(victim.ID())
+	sw.Arm(1)
+	crash := faultinject.Run(func() { _ = ops[k].run(e) })
+	sw.Disarm()
+	if crash == nil {
+		// The op issues no victim writes; nothing to sweep.
+		e.p.CloseDevice()
+		return nil, 0, nil
+	}
+	if err := e.p.MarkClientDead(victim.ID()); err != nil {
+		e.p.CloseDevice()
+		return nil, 0, err
+	}
+	sw.SetVictim(-1) // recovery writes: executor client + management plane
+	sw.StartCounting()
+	_, rerr := e.svc.RecoverClient(victim.ID())
+	writes := sw.StopCounting()
+	e.p.CloseDevice()
+	if rerr != nil {
+		return nil, 0, fmt.Errorf("recovery of %s crash failed uninjected: %w", ops[k].name, rerr)
+	}
+
+	var vs []Violation
+	pos := positions(writes, cfg.MaxWrites)
+	logf("op %-14s recovery writes=%-3d positions=%d", ops[k].name, writes, len(pos))
+	for _, r := range pos {
+		rv, err := runRecoveryPosition(cfg, ops, k, r)
+		if err != nil {
+			return vs, len(pos), err
+		}
+		vs = append(vs, rv...)
+	}
+	return vs, len(pos), nil
+}
+
+// runRecoveryPosition is one phase-B story: the victim crashes at its first
+// write of op k, then the recovery pass crashes at its r-th write. A second
+// service recovers the executor first (replaying its interrupted
+// transactions), then the victim, then the usual epilogue and fsck.
+func runRecoveryPosition(cfg Config, ops []op, k, r int) ([]Violation, error) {
+	v := Violation{Op: ops[k].name, Access: 1, RecoveryAccess: r, Backend: cfg.Backend}
+	sw := faultinject.NewAccessSweeper()
+	e, err := setup(cfg.Backend, sw)
+	if err != nil {
+		return nil, err
+	}
+	defer e.p.CloseDevice()
+	if err := replay(e, ops, k); err != nil {
+		return nil, err
+	}
+	victim := ops[k].actor(e)
+	sw.SetVictim(victim.ID())
+	sw.Arm(1)
+	if crash := faultinject.Run(func() { _ = ops[k].run(e) }); crash == nil {
+		return nil, nil // op issues no victim writes
+	}
+	sw.Disarm()
+	if err := e.p.MarkClientDead(victim.ID()); err != nil {
+		return nil, err
+	}
+	sw.SetVictim(-1)
+	sw.Arm(r)
+	crash := faultinject.Run(func() { _, _ = e.svc.RecoverClient(victim.ID()) })
+	sw.Disarm()
+	svc := e.svc
+	if crash != nil {
+		// The recovery executor died mid-pass. Its own redo entry and
+		// half-done sweeps are recovered by a fresh service — executor
+		// first, then the still-dead victim.
+		execID := e.svc.Executor().ID()
+		if err := e.p.MarkClientDead(execID); err != nil {
+			v.Detail = fmt.Sprintf("mark executor dead: %v", err)
+			return []Violation{v}, nil
+		}
+		svc2, err := recovery.NewService(e.p)
+		if err != nil {
+			v.Detail = fmt.Sprintf("second service: %v", err)
+			return []Violation{v}, nil
+		}
+		if _, err := svc2.RecoverClient(execID); err != nil {
+			v.Detail = fmt.Sprintf("recover executor: %v", err)
+			return []Violation{v}, nil
+		}
+		if e.p.ClientStatus(victim.ID()) == layout.ClientDead {
+			if _, err := svc2.RecoverClient(victim.ID()); err != nil {
+				v.Detail = fmt.Sprintf("re-recover victim: %v", err)
+				return []Violation{v}, nil
+			}
+		}
+		svc = svc2
+	}
+	return finish(e, svc, v), nil
+}

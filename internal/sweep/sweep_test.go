@@ -1,0 +1,64 @@
+package sweep
+
+import "testing"
+
+func TestPositions(t *testing.T) {
+	cases := []struct {
+		w, cap int
+		want   []int
+	}{
+		{0, 0, nil},
+		{3, 0, []int{1, 2, 3}},
+		{3, 5, []int{1, 2, 3}},
+		{10, 4, []int{1, 4, 7, 10}},
+		{7, 3, []int{1, 4, 7}},
+		{100, 2, []int{1, 51, 100}},
+	}
+	for _, c := range cases {
+		got := positions(c.w, c.cap)
+		if len(got) != len(c.want) {
+			t.Fatalf("positions(%d,%d) = %v, want %v", c.w, c.cap, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("positions(%d,%d) = %v, want %v", c.w, c.cap, got, c.want)
+			}
+		}
+	}
+}
+
+// TestSweepBounded runs the full phase-A sweep with a tight position budget
+// on the heap backend. This is the CI-sized version of `faultsim -sweep`;
+// any violation is a real crash-consistency bug.
+func TestSweepBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	vs, st, err := Run(Config{Backend: "heap", MaxWrites: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops == 0 || st.Positions == 0 {
+		t.Fatalf("sweep ran nothing: %+v", st)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestSweepRecoveryBounded spot-checks phase B (crashing the recovery pass
+// itself) on a handful of representative operations.
+func TestSweepRecoveryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	for _, opName := range []string{"malloc-small", "free-embed", "send"} {
+		vs, _, err := Run(Config{Backend: "heap", MaxWrites: 4, RecoverySweep: true, Op: opName})
+		if err != nil {
+			t.Fatalf("%s: %v", opName, err)
+		}
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+	}
+}
