@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: all build test vet race verify bench bench-fastpath bench-smoke \
-	test-mmap sweep ci
+	test-mmap sweep top-smoke ci
 
 all: verify
 
@@ -46,14 +46,30 @@ sweep:
 	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep
 	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep -backend mmap
 
+# top-smoke drives the observer tooling end to end across processes: build
+# a pool on an mmap'd file, crash its client, attach cxltop read-only for
+# one JSON and one Prometheus snapshot, recover the pool, and pretty-print
+# the crash-surviving telemetry (the dead client's final counters).
+top-smoke:
+	rm -f .ci-top.cxl
+	$(GO) run ./cmd/cxlsnap -create .ci-top.cxl -mmap -keys 100
+	$(GO) run ./cmd/cxltop -once -json .ci-top.cxl > /dev/null
+	$(GO) run ./cmd/cxltop -once -prom .ci-top.cxl > /dev/null
+	$(GO) run ./cmd/cxlsnap -open .ci-top.cxl
+	$(GO) run ./cmd/cxlsnap -metrics .ci-top.cxl > /dev/null
+	rm -f .ci-top.cxl
+
 # ci is the continuous-integration gate (.github/workflows/ci.yml): vet,
 # tier-1 build+test, a race pass over the fast-path and queue tests on both
-# backends, the mmap-backend suite, and the bounded crash sweep.
+# backends, the mmap-backend suite, the bounded crash sweep (one leg with
+# telemetry collection enabled), and the cxltop/cxlsnap observer smoke.
 ci: vet build test
 	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	$(MAKE) test-mmap
 	$(MAKE) sweep
+	$(GO) run ./cmd/faultsim -sweep -max-writes 8 -metrics
+	$(MAKE) top-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .

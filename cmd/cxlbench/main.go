@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/shm"
 )
 
 func main() {
@@ -212,11 +214,20 @@ func parseInts(s string) ([]int, error) {
 }
 
 // writeMetrics dumps the experiment's metrics delta next to the experiment's
-// output: a machine-readable JSON snapshot plus a terminal summary.
+// output: a machine-readable JSON snapshot plus a terminal summary. The
+// snapshot carries provenance (backend, layout version, build) so a stray
+// BENCH_*_metrics.json always says what produced it; pool geometry is left
+// out because each experiment sizes its own pools.
 func writeMetrics(name string, snap obs.Snapshot) {
 	fmt.Println("-- metrics --")
 	snap.WriteSummary(os.Stdout)
-	data, err := obs.MarshalIndentJSON(snap, nil)
+	backend := os.Getenv(shm.BackendEnv)
+	if backend == "" {
+		backend = "heap"
+	}
+	prov := obs.CollectProvenance("cxlbench", backend)
+	prov.LayoutVersion = layout.LayoutVersion
+	data, err := obs.MarshalReportJSON(snap, nil, prov)
 	if err != nil {
 		fatal(err)
 	}

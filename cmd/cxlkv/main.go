@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	cxlkv [-writers N] [-readers N] [-keys N] [-ops N]
+//	cxlkv [-writers N] [-readers N] [-keys N] [-ops N] [-pool FILE]
+//
+// With -pool the pool lives on an mmap'd file instead of the heap: point
+// `cxltop FILE` at it from another terminal to watch the clients' op
+// rates, the writer's death, and its recovery timeline live.
 package main
 
 import (
@@ -29,23 +33,27 @@ func main() {
 	readers := flag.Int("readers", 2, "reader clients")
 	keys := flag.Int("keys", 2000, "key space size")
 	ops := flag.Int("ops", 20000, "operations per client")
+	poolFile := flag.String("pool", "", "back the pool with this mmap'd file (watch it live: cxltop FILE)")
 	flag.Parse()
 
-	if err := run(*writers, *readers, *keys, *ops); err != nil {
+	if err := run(*writers, *readers, *keys, *ops, *poolFile); err != nil {
 		fmt.Fprintln(os.Stderr, "cxlkv:", err)
 		os.Exit(1)
 	}
 }
 
-func run(writers, readers, keys, ops int) error {
+func run(writers, readers, keys, ops int, poolFile string) error {
 	pool, err := shm.NewPool(shm.Config{Geometry: layout.GeometryConfig{
 		MaxClients:   writers + readers + 8,
 		NumSegments:  256,
 		SegmentWords: 1 << 15,
 		PageWords:    1 << 11,
-	}})
+	}, File: poolFile})
 	if err != nil {
 		return err
+	}
+	if poolFile != "" {
+		fmt.Printf("pool lives in %s — `cxltop %s` in another terminal watches this run\n", poolFile, poolFile)
 	}
 	svc, err := recovery.NewService(pool)
 	if err != nil {
@@ -119,7 +127,11 @@ func run(writers, readers, keys, ops int) error {
 					errCh <- fmt.Errorf("writer %d: %w", w, err)
 					return
 				}
+				if i%4096 == 4095 {
+					c.Heartbeat() // publishes the counter vector for observers
+				}
 			}
+			c.FlushMetrics()
 			errCh <- nil
 		}(w)
 	}
@@ -147,7 +159,11 @@ func run(writers, readers, keys, ops int) error {
 					errCh <- fmt.Errorf("reader %d: %w", r, err)
 					return
 				}
+				if i%4096 == 4095 {
+					c.Heartbeat()
+				}
 			}
+			c.FlushMetrics()
 			errCh <- nil
 		}(r)
 	}
@@ -175,6 +191,11 @@ func run(writers, readers, keys, ops int) error {
 		}
 		fmt.Printf("writer %d died mid-stream; recovered in %v (swept %d refs, freed %d segments)\n",
 			victim.ID(), time.Since(start).Round(time.Microsecond), rep.SweptRoots, rep.SegsFreed)
+		// The pool's own record of the death, readable from any process.
+		if tl, ok := pool.Telemetry().ReadTimeline(victim.ID()); ok && tl.RecoveredNS > 0 {
+			fmt.Printf("telemetry timeline: death #%d reason=%s detect→recovered %v\n",
+				tl.Deaths, tl.ReasonName, time.Duration(tl.DurationNS).Round(time.Microsecond))
+		}
 
 		// Metadata-only takeover of partition 0.
 		taker, err := pool.Connect()

@@ -24,10 +24,13 @@ import (
 	"io"
 	"os"
 
+	"time"
+
 	"repro/internal/check"
 	"repro/internal/cxl"
 	"repro/internal/kv"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/shm"
 )
@@ -37,6 +40,7 @@ const imageMagic = 0x43584C534E415031 // "CXLSNAP1"
 func main() {
 	create := flag.String("create", "", "create a pool, populate it, save it to this file")
 	open := flag.String("open", "", "attach a saved pool (image or mmap file), recover, and verify")
+	metrics := flag.String("metrics", "", "pretty-print a saved pool's telemetry region (read-only; no recovery)")
 	mmap := flag.Bool("mmap", false, "with -create: back the pool with the file itself (no-copy, cross-process)")
 	keys := flag.Int("keys", 500, "keys to store")
 	flag.Parse()
@@ -48,6 +52,10 @@ func main() {
 		}
 	case *open != "":
 		if err := doOpen(*open); err != nil {
+			fail(err)
+		}
+	case *metrics != "":
+		if err := doMetrics(*metrics); err != nil {
 			fail(err)
 		}
 	default:
@@ -82,6 +90,11 @@ func doCreate(path string, keys int, mmap bool) error {
 			return err
 		}
 	}
+	// A real client heartbeats on a timer; one beat after the workload
+	// stands in for that cadence — it also publishes the client's counter
+	// vector into the pool's telemetry region, where it survives what
+	// happens next (inspect it later with -metrics).
+	c.Heartbeat()
 	fmt.Printf("stored %d keys; client %d now 'loses power' without releasing anything\n", keys, c.ID())
 	// No Close, no Release: the pool captures the mess as-is.
 	if mmap {
@@ -181,6 +194,87 @@ func doOpen(path string) error {
 	}
 	fmt.Println("OK: the pool outlived every client process")
 	return nil
+}
+
+// doMetrics pretty-prints the pool's crash-surviving telemetry region:
+// every published metric block — dead clients' final counters included,
+// that is the point — each slot's recovery timeline, and the shared
+// recovery-event ring. Live mmap pools are attached PROT_READ, so this is
+// safe to point at a pool other processes are actively using.
+func doMetrics(path string) error {
+	pool, err := attachObserver(path)
+	if err != nil {
+		return err
+	}
+	defer pool.CloseDevice()
+	tel := pool.Telemetry()
+	if err := tel.Validate(); err != nil {
+		return err
+	}
+	snap := tel.Snapshot()
+	fmt.Printf("telemetry region of %s (layout v%d, %d clients)\n\n",
+		path, layout.LayoutVersion, pool.Geometry().MaxClients)
+
+	fmt.Println("pool block (recovery service, CAS-added):")
+	blockSummary(&snap.Pool)
+	for i := range snap.Clients {
+		b := &snap.Clients[i]
+		status := "alive"
+		switch pool.ClientStatus(b.Index) {
+		case layout.ClientDead:
+			status = "DEAD — final pre-fence counters below"
+		case layout.ClientRecovered:
+			status = "recovered"
+		case layout.ClientSlotFree:
+			status = "slot free"
+		}
+		fmt.Printf("\nclient %d (pid %d, %s, %d publishes):\n", b.Index, b.Identity, status, b.Publishes)
+		blockSummary(b)
+	}
+	for _, tl := range snap.Timelines {
+		fmt.Printf("\ntimeline client %d: death #%d reason=%s", tl.Client, tl.Deaths, tl.ReasonName)
+		if tl.RecoveredNS > 0 {
+			fmt.Printf(" recovered (detect→recovered %v, attempts %d, replays %d, reclaimed %d, roots swept %d)",
+				time.Duration(tl.DurationNS), tl.Attempts, tl.RedoReplays, tl.Reclaimed, tl.SweptRoots)
+		} else {
+			fmt.Printf(" (not yet recovered; attempts %d)", tl.Attempts)
+		}
+		fmt.Println()
+	}
+	if len(snap.Events) > 0 {
+		fmt.Println("\nrecovery-event ring:")
+		for _, e := range snap.Events {
+			fmt.Printf("  %s  %s\n", e.Time.Format("15:04:05.000"), e.String())
+		}
+	}
+	return nil
+}
+
+// blockSummary renders one metric block through the standard snapshot
+// summary (non-zero counters, histogram quantiles).
+func blockSummary(b *shm.TelemetryBlock) {
+	s := obs.Snapshot{Counters: b.CounterMap(), Histograms: b.HistogramMap()}
+	s.WriteSummary(os.Stdout)
+}
+
+// attachObserver opens path like attach but never writes: mmap pools are
+// mapped read-only, snapshot images are restored into a private heap copy.
+func attachObserver(path string) (*shm.Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 8)
+	_, rerr := io.ReadFull(f, hdr)
+	f.Close()
+	if rerr == nil && binary.LittleEndian.Uint64(hdr) == imageMagic {
+		img, err := readImage(path)
+		if err != nil {
+			return nil, err
+		}
+		return shm.AttachSnapshot(img)
+	}
+	return shm.OpenFileReadOnly(path)
 }
 
 // writeImage stores the image as little-endian words with a magic header.

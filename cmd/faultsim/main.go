@@ -77,6 +77,9 @@ func main() {
 		}
 		fmt.Printf("sweep: %d ops, %d crash positions (+%d recovery positions) — all recovered and validated clean\n",
 			st.Ops, st.Positions, st.RecoveryPositions)
+		if *metrics {
+			writeMetrics(false)
+		}
 		return
 	}
 
@@ -106,18 +109,42 @@ func main() {
 	fmt.Printf("randomized: %d trials, %d with injected crashes, %d crash-free — all validated clean\n",
 		*trials, crashes, clean)
 	if *metrics {
-		snap := obs.GlobalSnapshot()
-		fmt.Println("-- metrics (all trials) --")
-		snap.WriteSummary(os.Stdout)
-		data, err := obs.MarshalIndentJSON(snap, nil)
-		if err != nil {
-			fail(err)
-		}
-		if err := os.WriteFile("FAULTSIM_metrics.json", data, 0o644); err != nil {
-			fail(err)
-		}
-		fmt.Println("metrics snapshot written to FAULTSIM_metrics.json")
+		writeMetrics(true)
 	}
+}
+
+// writeMetrics dumps the campaign-wide metrics snapshot, stamped with the
+// provenance (backend, geometry, layout version, build) that produced it.
+// Sweep mode builds pools with its own per-op geometry, so only the trials
+// campaign records the pool shape.
+func writeMetrics(withGeometry bool) {
+	snap := obs.GlobalSnapshot()
+	fmt.Println("-- metrics (all trials) --")
+	snap.WriteSummary(os.Stdout)
+	prov := obs.CollectProvenance("faultsim", backendName())
+	prov.LayoutVersion = layout.LayoutVersion
+	if withGeometry {
+		prov.MaxClients = 8
+		prov.NumSegments = 16
+		prov.SegmentWords = 1 << 13
+		prov.PageWords = 1 << 9
+		prov.MaxQueues = 8
+	}
+	data, err := obs.MarshalReportJSON(snap, nil, prov)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile("FAULTSIM_metrics.json", data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Println("metrics snapshot written to FAULTSIM_metrics.json")
+}
+
+func backendName() string {
+	if backend == "" {
+		return "heap"
+	}
+	return backend
 }
 
 // backend selects the per-trial device backend (-backend flag).

@@ -104,7 +104,28 @@ func CreateMapDevice(path string, cfg Config) (*MapDevice, error) {
 // died holding references; attach it with shm.AttachMemory and run
 // recovery on the stale clients.
 func OpenMapDevice(path string) (*MapDevice, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return openMapDevice(path, false)
+}
+
+// OpenMapDeviceReadOnly maps an existing pool file PROT_READ and wraps it
+// read-only: loads observe the live pool (other processes' stores included)
+// but any store, CAS, fence or Handle open panics — and even a bug that
+// bypassed the wrapper would take a SIGSEGV from the MMU, not corrupt the
+// pool. This is the attach path for observers (cxltop, cxlsnap -metrics).
+func OpenMapDeviceReadOnly(path string) (Memory, error) {
+	md, err := openMapDevice(path, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ReadOnlyDevice{md}, nil
+}
+
+func openMapDevice(path string, readOnly bool) (*MapDevice, error) {
+	flag := os.O_RDWR
+	if readOnly {
+		flag = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flag, 0)
 	if err != nil {
 		return nil, fmt.Errorf("cxl: open pool file: %w", err)
 	}
@@ -146,7 +167,11 @@ func OpenMapDevice(path string) (*MapDevice, error) {
 		return nil, fmt.Errorf("cxl: %s: file is %d bytes, header computes %d (truncated or corrupt)",
 			path, st.Size(), size)
 	}
-	data, err := mmapFile(f, int(size))
+	mapFn := mmapFile
+	if readOnly {
+		mapFn = mmapFileReadOnly
+	}
+	data, err := mapFn(f, int(size))
 	f.Close()
 	if err != nil {
 		return nil, err

@@ -13,6 +13,8 @@ var errNoMmap = errors.New("cxl: mmap pool files are not supported on this platf
 
 func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
 
+func mmapFileReadOnly(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
 func munmap(data []byte) error { return errNoMmap }
 
 func msync(data []byte) error { return errNoMmap }

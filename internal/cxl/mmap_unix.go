@@ -21,6 +21,19 @@ func mmapFile(f *os.File, size int) ([]byte, error) {
 	return data, nil
 }
 
+// mmapFileReadOnly maps size bytes of f PROT_READ and shared: the mapping
+// observes every other process's writes but the hardware (MMU) rejects any
+// write through it — the software stand-in for an observer host given a
+// read-only window onto the CXL device.
+func mmapFileReadOnly(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("cxl: mmap (read-only) %s (%d bytes): %w", f.Name(), size, err)
+	}
+	return data, nil
+}
+
 func munmap(data []byte) error {
 	return syscall.Munmap(data)
 }

@@ -16,6 +16,9 @@ import "fmt"
 //	                            (ClientStateWords per client)
 //	QueueRegBase..              queue registry (1 word per slot)
 //	SegmentsBase..              NumSegments segments of SegmentWords each
+//	TelemetryBase..             crash-surviving telemetry region
+//	                            (telemetry.go: metric blocks, recovery
+//	                            timelines, shared event ring)
 //
 // Each segment:
 //
@@ -51,6 +54,13 @@ type Geometry struct {
 	QueueRegBase  Addr
 	RootDirBase   Addr
 	SegmentsBase  Addr
+	// TelemetryBase is the crash-surviving telemetry region (telemetry.go),
+	// placed after the segments so all other addresses are unaffected.
+	TelemetryBase Addr
+	// TelSlotWords/TelBlockWords size one metric slot / double-buffered
+	// metric block, derived from the obs counter and histogram dimensions.
+	TelSlotWords  uint64
+	TelBlockWords uint64
 	TotalWords    uint64
 
 	Classes []SizeClass
@@ -155,7 +165,10 @@ func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
 	base += MaxNamedRoots
 	base = (base + 7) &^ 7
 	g.SegmentsBase = base
-	g.TotalWords = uint64(base) + uint64(g.NumSegments)*g.SegmentWords
+	g.TelemetryBase = base + Addr(uint64(g.NumSegments)*g.SegmentWords)
+	g.TelSlotWords = telSlotWords()
+	g.TelBlockWords = telBlockHdrWords + 2*g.TelSlotWords
+	g.TotalWords = uint64(g.TelemetryBase) + g.telemetryWords()
 
 	g.Classes = BuildSizeClasses(g.PageWords)
 	return g, nil
@@ -229,7 +242,7 @@ func (g *Geometry) SegmentBase(i int) Addr {
 // SegmentIndexOf maps an address inside the segments area to its segment
 // index, or -1 for addresses outside it.
 func (g *Geometry) SegmentIndexOf(a Addr) int {
-	if a < g.SegmentsBase || a >= Addr(g.TotalWords) {
+	if a < g.SegmentsBase || a >= g.TelemetryBase {
 		return -1
 	}
 	return int((a - g.SegmentsBase) / Addr(g.SegmentWords))

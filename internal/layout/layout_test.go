@@ -147,8 +147,39 @@ func TestGeometryRegionsDoNotOverlap(t *testing.T) {
 	if g.SegmentsBase < g.QueueRegBase+Addr(g.MaxQueues) {
 		t.Fatal("segments overlap queue registry")
 	}
-	if g.TotalWords != uint64(g.SegmentsBase)+uint64(g.NumSegments)*g.SegmentWords {
+	if g.TelemetryBase != g.SegmentsBase+Addr(uint64(g.NumSegments)*g.SegmentWords) {
+		t.Fatal("telemetry region overlaps segments")
+	}
+	if g.TotalWords <= uint64(g.TelemetryBase) {
 		t.Fatal("TotalWords inconsistent")
+	}
+}
+
+func TestGeometryTelemetryRegion(t *testing.T) {
+	g, err := NewGeometry(GeometryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sub-areas tile the region in order and stay inside the pool.
+	if g.TelTimelineBase(1) != g.TelemetryBase+TelHeaderWords {
+		t.Fatal("timeline area does not follow the header")
+	}
+	if g.TelBlockBase(0) != g.TelTimelineBase(g.MaxClients)+TelTimelineWords {
+		t.Fatal("metric blocks do not follow the timelines")
+	}
+	if g.TelRingRecordBase(0) != g.TelSlotBase(g.MaxClients, 1)+Addr(g.TelSlotWords) {
+		t.Fatal("event ring does not follow the metric blocks")
+	}
+	end := g.TelRingRecordBase(TelRingRecords-1) + TelRecordWords
+	if uint64(end) != g.TotalWords {
+		t.Fatalf("telemetry region ends at %d, pool has %d words", end, g.TotalWords)
+	}
+	// Addresses in the telemetry region are not segment addresses.
+	if got := g.SegmentIndexOf(g.TelemetryBase); got != -1 {
+		t.Fatalf("SegmentIndexOf(TelemetryBase) = %d, want -1", got)
+	}
+	if g.TelSlotWords%8 != 0 || g.TelBlockWords%8 != 0 {
+		t.Fatal("telemetry blocks not cache-line aligned")
 	}
 }
 

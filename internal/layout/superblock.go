@@ -41,7 +41,9 @@ const (
 //
 //	1  implicit (pre-superblock pools: no version word, word 9 reads 0)
 //	2  versioned superblock introduced
-const LayoutVersion = 2
+//	3  crash-surviving telemetry region appended after the segments area
+//	   (per-client metric blocks, recovery timelines, shared event ring)
+const LayoutVersion = 3
 
 // Superblock is the decoded pool header.
 type Superblock struct {

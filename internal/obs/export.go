@@ -6,13 +6,22 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Metrics bundles one pool's registry and tracer.
 type Metrics struct {
 	reg *Registry
 	trc *Tracer
+
+	mu   sync.Mutex
+	sink EventSink
 }
+
+// EventSink receives every traced event after it enters the in-heap ring.
+// shm.Pool installs one that mirrors recovery-lifecycle events into the
+// pool's crash-surviving telemetry ring.
+type EventSink func(Event)
 
 // New creates a Metrics with nshards counter shards and a trace ring of
 // traceCap events.
@@ -36,12 +45,31 @@ func (m *Metrics) Tracer() *Tracer {
 	return m.trc
 }
 
+// SetEventSink installs (or, with nil, removes) the event mirror.
+func (m *Metrics) SetEventSink(fn EventSink) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.sink = fn
+	m.mu.Unlock()
+}
+
 // Trace records one lifecycle event.
 func (m *Metrics) Trace(e Event) {
 	if m == nil {
 		return
 	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
 	m.trc.Record(e)
+	m.mu.Lock()
+	sink := m.sink
+	m.mu.Unlock()
+	if sink != nil {
+		sink(e)
+	}
 }
 
 // Snapshot aggregates the registry into an exportable snapshot.
@@ -102,6 +130,13 @@ func snapshotOf(r *Registry) Snapshot {
 		s.Histograms[h.Name()] = finishHistogram(r.Histogram(h))
 	}
 	return s
+}
+
+// MakeHistogramSnapshot finishes a raw bucket vector into an exportable
+// histogram (count, quantiles) — for readers that obtain bucket vectors
+// from outside a Registry, e.g. the shared telemetry region.
+func MakeHistogramSnapshot(buckets [HistBuckets]uint64) HistogramSnapshot {
+	return finishHistogram(buckets)
 }
 
 func finishHistogram(buckets [HistBuckets]uint64) HistogramSnapshot {
@@ -181,10 +216,18 @@ func (s Snapshot) WriteSummary(w io.Writer) {
 // MarshalIndentJSON renders the snapshot (plus optional events) as indented
 // JSON, the exporter's file format.
 func MarshalIndentJSON(s Snapshot, events []Event) ([]byte, error) {
+	return MarshalReportJSON(s, events, nil)
+}
+
+// MarshalReportJSON is MarshalIndentJSON with a provenance stanza, so
+// BENCH_*/FAULTSIM_* files carry enough context (build, backend, geometry)
+// to be compared across runs and machines.
+func MarshalReportJSON(s Snapshot, events []Event, prov *Provenance) ([]byte, error) {
 	return json.MarshalIndent(struct {
+		Provenance *Provenance `json:"provenance,omitempty"`
 		Snapshot
 		Events []Event `json:"events,omitempty"`
-	}{s, events}, "", "  ")
+	}{prov, s, events}, "", "  ")
 }
 
 // --- process-global aggregation ---

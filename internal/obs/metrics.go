@@ -113,13 +113,17 @@ const (
 	HistAllocNS    Histo = iota // Malloc wall time (sampled)
 	HistScanNS                  // segment-local scan wall time
 	HistRecoveryNS              // full client-recovery wall time
-	NumHistos                   // sentinel
+	// HistDetectRecoverNS is the recovery-time SLO: first missed heartbeat
+	// (or fence, when no miss was observed) to RECOVERED published.
+	HistDetectRecoverNS
+	NumHistos // sentinel
 )
 
 var histoNames = [NumHistos]string{
-	HistAllocNS:    "alloc_ns",
-	HistScanNS:     "segment_scan_ns",
-	HistRecoveryNS: "recovery_ns",
+	HistAllocNS:         "alloc_ns",
+	HistScanNS:          "segment_scan_ns",
+	HistRecoveryNS:      "recovery_ns",
+	HistDetectRecoverNS: "detect_to_recovered_ns",
 }
 
 // Name returns the histogram's stable export name.
@@ -213,6 +217,20 @@ func (s *Shard) Observe(h Histo, ns int64) {
 	}
 	s.histos[h][bucketOf(ns)].Add(1)
 }
+
+// Bucket reads one histogram bucket (telemetry publication reads the
+// shard's vectors word by word).
+func (s *Shard) Bucket(h Histo, i int) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.histos[h][i].Load()
+}
+
+// BucketOf exposes the bucket index for an observation, for writers that
+// maintain histogram vectors outside a Shard (the shared pool block's
+// CAS-added buckets).
+func BucketOf(v int64) int { return bucketOf(v) }
 
 // Registry is the sharded counter/histogram core for one pool: shard 0 is
 // the pool/recovery-service shard, shards 1..n are per-client (indexed by

@@ -27,9 +27,14 @@ type Monitor struct {
 	lastBeat map[int]uint64
 	seen     map[int]bool // cid has had lastBeat seeded this incarnation
 	misses   map[int]int
-	reports  []Report
-	fences   []FenceRecord
-	failures []RecoveryFailure
+	// firstMiss records when cid's heartbeat was first observed stalled
+	// (unix ns) — the detection timepoint the recovery-time SLO is measured
+	// from. Cleared when the beat advances.
+	firstMiss  map[int]int64
+	reports    []Report
+	fences     []FenceRecord
+	failures   []RecoveryFailure
+	recoveries []RecoveryRecord
 	// deadSeen marks dead clients whose fence has already been recorded, so
 	// a client stuck in ClientDead (recovery erroring) yields one FenceRecord,
 	// not one per tick. Cleared when the slot re-enters ClientAlive.
@@ -68,6 +73,15 @@ type FenceRecord struct {
 	Misses int       `json:"misses,omitempty"`
 }
 
+// RecoveryRecord describes one completed recovery: who was recovered, when
+// it finished, and the detection-to-recovered duration (the SLO; zero when
+// the death carried no detection stamp to measure from).
+type RecoveryRecord struct {
+	Client   int           `json:"client"`
+	Time     time.Time     `json:"time"`
+	Duration time.Duration `json:"detect_to_recovered_ns"`
+}
+
 // MonitorConfig tunes the monitor.
 type MonitorConfig struct {
 	// Interval between heartbeat checks (default 10ms).
@@ -92,6 +106,7 @@ func NewMonitor(svc *Service, cfg MonitorConfig) *Monitor {
 		lastBeat:  make(map[int]uint64),
 		seen:      make(map[int]bool),
 		misses:    make(map[int]int),
+		firstMiss: make(map[int]int64),
 		deadSeen:  make(map[int]bool),
 		backoff:   make(map[int]int),
 		nextTry:   make(map[int]uint64),
@@ -139,6 +154,27 @@ func (m *Monitor) Failures() []RecoveryFailure {
 	out := make([]RecoveryFailure, len(m.failures))
 	copy(out, m.failures)
 	return out
+}
+
+// Recoveries returns every completed recovery so far, oldest first, each
+// with its detection-to-recovered duration.
+func (m *Monitor) Recoveries() []RecoveryRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RecoveryRecord, len(m.recoveries))
+	copy(out, m.recoveries)
+	return out
+}
+
+// LastRecovery returns the most recent completed recovery, and false if
+// none has completed yet.
+func (m *Monitor) LastRecovery() (RecoveryRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.recoveries) == 0 {
+		return RecoveryRecord{}, false
+	}
+	return m.recoveries[len(m.recoveries)-1], true
 }
 
 // LastFence returns the most recent fence record, and false if no client has
@@ -206,8 +242,11 @@ func (m *Monitor) Tick() {
 			}
 			if beat == m.lastBeat[cid] {
 				m.misses[cid]++
+				if m.misses[cid] == 1 {
+					m.firstMiss[cid] = time.Now().UnixNano()
+				}
 				if m.misses[cid] >= m.threshold {
-					if err := p.MarkClientDeadReason(cid, obs.FenceHeartbeat); err == nil {
+					if err := p.MarkClientDeadDetected(cid, obs.FenceHeartbeat, m.firstMiss[cid]); err == nil {
 						m.fences = append(m.fences, FenceRecord{
 							Client: cid,
 							Time:   time.Now(),
@@ -221,6 +260,7 @@ func (m *Monitor) Tick() {
 			} else {
 				m.lastBeat[cid] = beat
 				m.misses[cid] = 0
+				delete(m.firstMiss, cid)
 			}
 		case layout.ClientDead:
 			// Fenced elsewhere (explicit kill or clean close); the monitor
@@ -285,9 +325,13 @@ func (m *Monitor) recoverLocked(cid int) {
 		return
 	}
 	m.reports = append(m.reports, r)
+	m.recoveries = append(m.recoveries, RecoveryRecord{
+		Client: cid, Time: time.Now(), Duration: r.Duration,
+	})
 	delete(m.lastBeat, cid)
 	delete(m.seen, cid)
 	delete(m.misses, cid)
+	delete(m.firstMiss, cid)
 	delete(m.backoff, cid)
 	delete(m.nextTry, cid)
 }

@@ -46,6 +46,10 @@ type Report struct {
 	SegsOrphan int  // segments left ABANDONED (still referenced by others)
 	HugeFreed  int  // huge objects reclaimed
 	Reclaimed  int  // leaked blocks reclaimed by the post-sweep scan
+	// Duration is the detection-to-recovered SLO for this death: first
+	// missed heartbeat (or the fence, when there was no detection phase) to
+	// RECOVERED published. Zero when the timeline carried no detection stamp.
+	Duration time.Duration
 }
 
 // RecoverClient recovers failed client cid:
@@ -77,6 +81,7 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 	p.Device().FenceClient(cid)
 	t0 := time.Now()
 	p.Obs().Trace(obs.Event{Type: obs.EvRecoveryStarted, Client: cid})
+	p.Telemetry().StampRecoveryStart(cid, t0.UnixNano())
 
 	// Step 2: redo decision and replay.
 	r.RedoNeeded = s.replayRedo(cid)
@@ -139,6 +144,17 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 	sh := p.Obs().Shard(0)
 	sh.Inc(obs.CtrRecoveryPass)
 	sh.Observe(obs.HistRecoveryNS, time.Since(t0).Nanoseconds())
+	// Close the crash-surviving timeline and extract the SLO: the duration
+	// is measured from the detection stamp the fence recorded, so it spans
+	// processes (the detector and the recoverer need not share one).
+	tel := p.Telemetry()
+	tel.PoolAdd(obs.CtrRecoveryPass, 1)
+	tel.PoolObserve(obs.HistRecoveryNS, time.Since(t0).Nanoseconds())
+	if dur := tel.StampRecovered(cid, r.Reclaimed, r.SweptRoots, time.Now().UnixNano()); dur > 0 {
+		r.Duration = time.Duration(dur)
+		sh.Observe(obs.HistDetectRecoverNS, dur)
+		tel.PoolObserve(obs.HistDetectRecoverNS, dur)
+	}
 	p.Obs().Trace(obs.Event{
 		Type: obs.EvRecoveryFinished, Client: cid,
 		A: uint64(r.Reclaimed), B: uint64(r.SweptRoots),
@@ -190,6 +206,9 @@ func (s *Service) replayRedo(cid int) bool {
 func (s *Service) traceReplay(cid int, op shm.Op, cond uint8) {
 	o := s.pool.Obs()
 	o.Shard(0).Inc(obs.CtrRedoReplay)
+	tel := s.pool.Telemetry()
+	tel.PoolAdd(obs.CtrRedoReplay, 1)
+	tel.StampRedoReplay(cid)
 	o.Trace(obs.Event{Type: obs.EvRedoReplayed, Client: cid, A: uint64(op), B: uint64(cond)})
 }
 

@@ -1,0 +1,145 @@
+package recovery_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/recovery"
+)
+
+// TestMonitorRecoveryTimeline drives a heartbeat-loss death through the
+// monitor and asserts the crash-surviving timeline records every stage in
+// order — first miss, fence, recovery attempt, recovered — with a positive
+// detection-to-recovered duration that also lands in the SLO histogram and
+// in the monitor's recovery records.
+func TestMonitorRecoveryTimeline(t *testing.T) {
+	p := newTestPool(t)
+	victim := connect(t, p)
+	for i := 0; i < 5; i++ {
+		if _, _, err := victim.Malloc(64, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cid := victim.ID()
+	// The victim hangs: it never beats again, never closes.
+
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{Threshold: 2})
+	// Tick 1 seeds the baseline, tick 2 counts the first miss (stamping
+	// detection time), tick 3 crosses the threshold: fence + recover. The
+	// sleeps keep the stamps strictly ordered on coarse clocks.
+	for i := 0; i < 3; i++ {
+		mon.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := p.ClientStatus(cid); st != layout.ClientRecovered {
+		t.Fatalf("victim status = %d after 3 ticks, want recovered", st)
+	}
+
+	tl, ok := p.Telemetry().ReadTimeline(cid)
+	if !ok {
+		t.Fatal("no timeline for the recovered victim")
+	}
+	if tl.Deaths != 1 || tl.Completed != 1 {
+		t.Errorf("deaths=%d completed=%d, want 1/1", tl.Deaths, tl.Completed)
+	}
+	if tl.ReasonName != "heartbeat-timeout" {
+		t.Errorf("fence reason = %q, want heartbeat-timeout", tl.ReasonName)
+	}
+	if tl.FirstMissNS <= 0 {
+		t.Fatalf("timeline carries no detection stamp (first miss %d)", tl.FirstMissNS)
+	}
+	if tl.FencedNS < tl.FirstMissNS {
+		t.Errorf("fence (%d) precedes first miss (%d)", tl.FencedNS, tl.FirstMissNS)
+	}
+	if tl.AttemptNS < tl.FencedNS {
+		t.Errorf("recovery attempt (%d) precedes fence (%d)", tl.AttemptNS, tl.FencedNS)
+	}
+	if tl.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", tl.Attempts)
+	}
+	if tl.RecoveredNS < tl.AttemptNS {
+		t.Errorf("recovered (%d) precedes attempt (%d)", tl.RecoveredNS, tl.AttemptNS)
+	}
+	if tl.DurationNS <= 0 {
+		t.Errorf("detect-to-recovered duration = %d, want > 0", tl.DurationNS)
+	}
+	if want := tl.RecoveredNS - tl.FirstMissNS; tl.DurationNS != want {
+		t.Errorf("duration %d != recovered-firstmiss %d", tl.DurationNS, want)
+	}
+	if tl.SweptRoots == 0 {
+		t.Error("victim died holding 5 roots but timeline records none swept")
+	}
+
+	// The monitor's in-heap record carries the same SLO value.
+	recs := mon.Recoveries()
+	if len(recs) != 1 || recs[0].Client != cid {
+		t.Fatalf("Recoveries() = %+v, want one record for client %d", recs, cid)
+	}
+	if recs[0].Duration != time.Duration(tl.DurationNS) {
+		t.Errorf("monitor duration %v != timeline duration %v", recs[0].Duration, time.Duration(tl.DurationNS))
+	}
+	last, ok := mon.LastRecovery()
+	if !ok || last != recs[0] {
+		t.Errorf("LastRecovery() = %+v/%v, want %+v", last, ok, recs[0])
+	}
+
+	// The duration lands in the SLO histogram both in-heap and in the
+	// crash-surviving pool block.
+	if hs := p.Obs().Snapshot().Histograms[obs.HistDetectRecoverNS.Name()]; hs.Count == 0 {
+		t.Error("in-heap detect_to_recovered_ns histogram is empty")
+	}
+	pb, _ := p.Telemetry().ReadBlock(0)
+	var slo uint64
+	for _, c := range pb.Histos[obs.HistDetectRecoverNS] {
+		slo += c
+	}
+	if slo == 0 {
+		t.Error("pool-block detect_to_recovered_ns histogram is empty")
+	}
+	if pb.Counters[obs.CtrClientFenced] == 0 || pb.Counters[obs.CtrRecoveryPass] == 0 {
+		t.Errorf("pool block fences=%d recoveries=%d, want both > 0",
+			pb.Counters[obs.CtrClientFenced], pb.Counters[obs.CtrRecoveryPass])
+	}
+	mustClean(t, p, "after monitored recovery")
+}
+
+// TestTimelineExplicitFenceHasNoDetectionGap: an explicitly killed client
+// has no heartbeat-miss stamp, so the SLO clock starts at the fence and the
+// reason says explicit.
+func TestTimelineExplicitFence(t *testing.T) {
+	p := newTestPool(t)
+	victim := connect(t, p)
+	if _, _, err := victim.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := recovery.NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkClientDead(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if _, err := svc.RecoverClient(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	tl, ok := p.Telemetry().ReadTimeline(victim.ID())
+	if !ok {
+		t.Fatal("no timeline after explicit fence + recovery")
+	}
+	if tl.FirstMissNS != 0 {
+		t.Errorf("explicit fence has first-miss stamp %d, want none", tl.FirstMissNS)
+	}
+	if tl.ReasonName != "explicit" {
+		t.Errorf("reason = %q, want explicit", tl.ReasonName)
+	}
+	if tl.DurationNS <= 0 || tl.DurationNS != tl.RecoveredNS-tl.FencedNS {
+		t.Errorf("duration %d, want recovered-fenced = %d", tl.DurationNS, tl.RecoveredNS-tl.FencedNS)
+	}
+}

@@ -1,6 +1,9 @@
 package shm
 
 import (
+	"os"
+	"time"
+
 	"repro/internal/cxl"
 	"repro/internal/faultinject"
 	"repro/internal/layout"
@@ -136,6 +139,7 @@ func (p *Pool) Connect() (*Client, error) {
 	// into this one (recovery clears it before publishing RECOVERED, but the
 	// slot may also be claimed straight from FREE after an external reset).
 	c.clearRedo()
+	p.tel.StampIdentity(c.h, cid, uint64(os.Getpid()))
 	c.Heartbeat()
 	return c, nil
 }
@@ -167,9 +171,13 @@ func (c *Client) Metrics() *obs.Shard {
 }
 
 // FlushMetrics publishes the client's locally accumulated counters into its
-// shard immediately. Only the client's own goroutine (or a caller that
+// shard immediately, and the full vector into the pool's crash-surviving
+// telemetry block. Only the client's own goroutine (or a caller that
 // happens-after it, e.g. after a worker join) may call it.
-func (c *Client) FlushMetrics() { c.publishMetrics() }
+func (c *Client) FlushMetrics() {
+	c.publishMetrics()
+	c.publishShared()
+}
 
 // pubEvery is the metrics publication period in era bumps: small enough
 // that snapshots lag live clients by at most a few dozen operations, large
@@ -190,12 +198,29 @@ func (c *Client) publishMetrics() {
 
 // Heartbeat advances the client's liveness counter; the monitor declares
 // clients dead when the counter stops advancing. Heartbeating also
-// publishes the client's metrics — the same "I'm alive" cadence keeps the
-// pool's counters fresh.
+// publishes the client's metrics — in-heap and into the pool's shared
+// telemetry block — so the same "I'm alive" cadence keeps the counters
+// every process sees fresh, and a client that stops beating leaves behind
+// a vector at most one heartbeat old.
 func (c *Client) Heartbeat() {
 	a := c.geo.ClientHeartbeatAddr(c.cid)
 	c.h.Store(a, c.h.Load(a)+1)
 	c.publishMetrics()
+	c.publishShared()
+}
+
+// publishShared publishes the client's counter totals and histogram
+// vectors into its telemetry metric block in the pool words themselves.
+// It goes through the client's RAS-fenceable handle: once the client is
+// fenced, a straggling publication is dropped by the device, so it can
+// never clobber the final pre-fence vector forensics read. Never called
+// from the era-bump path — publication cost (a few hundred plain stores)
+// stays off the allocation fast path and out of its access budgets.
+func (c *Client) publishShared() {
+	if c.h.Fenced() {
+		return
+	}
+	c.pool.tel.PublishShard(c.h, c.cid, &c.loc, c.mx, time.Now().UnixNano())
 }
 
 // Fenced reports whether this client has been RAS-fenced.
@@ -212,6 +237,7 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.publishMetrics()
+	c.publishShared()
 	return c.pool.MarkClientDeadReason(c.cid, obs.FenceClose)
 }
 

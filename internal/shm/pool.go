@@ -3,6 +3,7 @@ package shm
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cxl"
 	"repro/internal/layout"
@@ -53,6 +54,19 @@ type Pool struct {
 	dev cxl.Memory
 	geo *layout.Geometry
 	obs *obs.Metrics
+	tel *Telemetry
+}
+
+// newPoolAround assembles a Pool over an already-built (wrapped) device.
+// mirror installs the event sink that copies recovery-lifecycle trace
+// events into the pool's crash-surviving telemetry ring; read-only
+// attaches leave it off (they never trace, and must never write).
+func newPoolAround(dev cxl.Memory, geo *layout.Geometry, mirror bool) *Pool {
+	p := &Pool{dev: dev, geo: geo, obs: newMetrics(geo), tel: NewTelemetry(dev, geo)}
+	if mirror {
+		p.obs.SetEventSink(p.tel.mirrorEvent)
+	}
+	return p
 }
 
 // traceRingCap bounds the recovery-event ring buffer per pool.
@@ -113,7 +127,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	} else if err := checkBackendFits(mem, geo); err != nil {
 		return nil, err
 	}
-	p := &Pool{dev: wrap(cfg, mem), geo: geo, obs: newMetrics(geo)}
+	p := newPoolAround(wrap(cfg, mem), geo, true)
 	p.format()
 	return p, nil
 }
@@ -138,6 +152,7 @@ func (p *Pool) format() {
 	// Global reclamation era for hazard-era deferred reclamation: starts at
 	// 1 so a zero hazard word always means "not reading".
 	p.dev.Store(globalEraAddr, 1)
+	p.tel.format()
 }
 
 // Snapshot captures the pool contents for later AttachSnapshot — the
@@ -167,7 +182,7 @@ func AttachSnapshot(snapshot []uint64) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{dev: dev, geo: geo, obs: newMetrics(geo)}, nil
+	return newPoolAround(dev, geo, true), nil
 }
 
 // AttachMemory attaches a pool that already lives on mem — typically a
@@ -184,7 +199,7 @@ func AttachMemory(mem cxl.Memory, mws ...cxl.Middleware) (*Pool, error) {
 	if err := checkBackendFits(mem, geo); err != nil {
 		return nil, err
 	}
-	return &Pool{dev: cxl.Wrap(mem, mws...), geo: geo, obs: newMetrics(geo)}, nil
+	return newPoolAround(cxl.Wrap(mem, mws...), geo, true), nil
 }
 
 // OpenFile maps the pool file at path (created by a NewPool with
@@ -202,6 +217,31 @@ func OpenFile(path string, mws ...cxl.Middleware) (*Pool, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// OpenFileReadOnly maps the pool file at path PROT_READ and attaches it
+// as an observer: superblock validated, no event sink installed, and any
+// write through the device panics with a clear message instead of
+// corrupting the pool (the mapping itself is hardware-read-only). This is
+// what cxltop and cxlsnap -metrics attach with: they can watch a live
+// pool — other processes' heartbeats, counters, recoveries — while being
+// physically unable to interfere.
+func OpenFileReadOnly(path string) (*Pool, error) {
+	mem, err := cxl.OpenMapDeviceReadOnly(path)
+	if err != nil {
+		return nil, err
+	}
+	sb := layout.ReadSuperblock(mem)
+	geo, err := sb.Geometry()
+	if err != nil {
+		mem.Close()
+		return nil, fmt.Errorf("shm: %w", err)
+	}
+	if err := checkBackendFits(mem, geo); err != nil {
+		mem.Close()
+		return nil, err
+	}
+	return newPoolAround(mem, geo, false), nil
 }
 
 // CloseDevice releases the device backend (unmaps a file-backed pool). For
@@ -231,6 +271,9 @@ func (p *Pool) Device() cxl.Memory { return p.dev }
 // Obs exposes the pool's observability core (metrics + recovery tracer).
 func (p *Pool) Obs() *obs.Metrics { return p.obs }
 
+// Telemetry exposes the pool's crash-surviving telemetry region.
+func (p *Pool) Telemetry() *Telemetry { return p.tel }
+
 // Geometry exposes the pool geometry.
 func (p *Pool) Geometry() *layout.Geometry { return p.geo }
 
@@ -256,6 +299,15 @@ func (p *Pool) MarkClientDead(cid int) error {
 // fenced, recorded in the recovery event trace (the monitor passes
 // heartbeat-timeout; Client.Close passes close).
 func (p *Pool) MarkClientDeadReason(cid int, reason obs.FenceReason) error {
+	return p.MarkClientDeadDetected(cid, reason, 0)
+}
+
+// MarkClientDeadDetected is MarkClientDeadReason carrying when the failure
+// was first suspected (the monitor's first missed heartbeat, unix ns; 0
+// when there was no detection phase). The successful fence opens a new
+// death on the client's crash-surviving recovery timeline, stamped with
+// both timepoints — the base the recovery-time SLO is measured from.
+func (p *Pool) MarkClientDeadDetected(cid int, reason obs.FenceReason, firstMissNS int64) error {
 	if cid < 1 || cid > p.geo.MaxClients {
 		return fmt.Errorf("shm: client id %d out of range", cid)
 	}
@@ -275,6 +327,8 @@ func (p *Pool) MarkClientDeadReason(cid int, reason obs.FenceReason) error {
 		}
 	}
 	p.dev.FenceClient(cid)
+	p.tel.StampFence(cid, reason, firstMissNS, time.Now().UnixNano())
+	p.tel.PoolAdd(obs.CtrClientFenced, 1)
 	p.obs.Shard(0).Inc(obs.CtrClientFenced)
 	p.obs.Trace(obs.Event{Type: obs.EvClientFenced, Client: cid, A: uint64(reason)})
 	return nil
@@ -282,12 +336,12 @@ func (p *Pool) MarkClientDeadReason(cid int, reason obs.FenceReason) error {
 
 // Usage is a cheap occupancy snapshot (segment-vector walk; no page scans).
 type Usage struct {
-	SegmentsFree      int
-	SegmentsActive    int
-	SegmentsAbandoned int
-	SegmentsHuge      int
-	ClientsAlive      int
-	TotalBytes        int
+	SegmentsFree      int `json:"segments_free"`
+	SegmentsActive    int `json:"segments_active"`
+	SegmentsAbandoned int `json:"segments_abandoned"`
+	SegmentsHuge      int `json:"segments_huge"`
+	ClientsAlive      int `json:"clients_alive"`
+	TotalBytes        int `json:"total_bytes"`
 }
 
 // Usage summarizes pool occupancy.

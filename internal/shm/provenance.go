@@ -1,0 +1,34 @@
+package shm
+
+import (
+	"repro/internal/cxl"
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// Provenance stamps an obs.Provenance with this pool's backend and
+// geometry, so every exported metrics file says exactly what pool shape
+// and data path produced its numbers.
+func (p *Pool) Provenance(tool string) *obs.Provenance {
+	prov := obs.CollectProvenance(tool, BackendName(p.dev))
+	prov.LayoutVersion = layout.LayoutVersion
+	prov.MaxClients = p.geo.MaxClients
+	prov.NumSegments = p.geo.NumSegments
+	prov.SegmentWords = p.geo.SegmentWords
+	prov.PageWords = p.geo.PageWords
+	prov.MaxQueues = p.geo.MaxQueues
+	return prov
+}
+
+// BackendName identifies the device backend at the bottom of a (possibly
+// middleware-wrapped) memory stack.
+func BackendName(dev cxl.Memory) string {
+	switch cxl.Bottom(dev).(type) {
+	case *cxl.MapDevice:
+		return "mmap"
+	case *cxl.Device:
+		return "heap"
+	default:
+		return "custom"
+	}
+}

@@ -405,6 +405,49 @@ func (c *Client) QueueLen(block layout.Addr) int {
 	return int(tail - head)
 }
 
+// QueueDepth is one registered queue seen from the management plane:
+// endpoints plus the live head/tail counters, read straight from the
+// device with pure loads — so observers on a read-only mapping (cxltop)
+// can watch other processes' queues fill and drain.
+type QueueDepth struct {
+	Block    layout.Addr `json:"block"`
+	Sender   int         `json:"sender"`
+	Receiver int         `json:"receiver"`
+	Capacity int         `json:"capacity"`
+	Head     uint64      `json:"head"`
+	Tail     uint64      `json:"tail"`
+}
+
+// Depth is the number of references currently in flight.
+func (q QueueDepth) Depth() int { return int(q.Tail - q.Head) }
+
+// Queues lists every registered, still-live transfer queue with its
+// current depth. Registry entries racing a free are skipped.
+func (p *Pool) Queues() []QueueDepth {
+	var out []QueueDepth
+	for i := 0; i < p.geo.MaxQueues; i++ {
+		block := p.dev.Load(p.geo.QueueRegAddr(i))
+		if block == 0 {
+			continue
+		}
+		m := layout.UnpackMeta(p.dev.Load(block + layout.MetaOff))
+		if !m.Allocated() || m.Flags&layout.MetaQueue == 0 {
+			continue
+		}
+		capacity := int(m.EmbedCnt)
+		s, r, _ := unpackQueueInfo(p.dev.Load(queueInfoAddr(block, capacity)))
+		out = append(out, QueueDepth{
+			Block:    block,
+			Sender:   s,
+			Receiver: r,
+			Capacity: capacity,
+			Head:     p.dev.Load(queueHeadAddr(block, capacity)),
+			Tail:     p.dev.Load(queueTailAddr(block, capacity)),
+		})
+	}
+	return out
+}
+
 // SweepQueueRegistry clears registry entries whose block is no longer a
 // live queue (freed after both endpoints released it). Run by the monitor.
 func (p *Pool) SweepQueueRegistry() int {

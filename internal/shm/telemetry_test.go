@@ -1,0 +1,230 @@
+package shm_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/shm"
+)
+
+// haltingWriter is a telemetry write plane that simulates a power loss after
+// a fixed number of stores: the publish protocol must leave the previously
+// committed slot intact no matter where the budget runs out.
+type haltingWriter struct {
+	p    *shm.Pool
+	left int
+}
+
+func (w *haltingWriter) Load(a layout.Addr) uint64 { return w.p.Device().Load(a) }
+
+func (w *haltingWriter) Store(a layout.Addr, v uint64) {
+	if w.left <= 0 {
+		panic("power loss")
+	}
+	w.left--
+	w.p.Device().Store(a, v)
+}
+
+func TestTelemetryPublishReadback(t *testing.T) {
+	p := newTestPool(t)
+	tel := p.Telemetry()
+	if err := tel.Validate(); err != nil {
+		t.Fatalf("Validate on a fresh pool: %v", err)
+	}
+
+	c := connect(t, p)
+	const allocs = 7
+	for i := 0; i < allocs; i++ {
+		if _, _, err := c.Malloc(64, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FlushMetrics()
+
+	b, ok := tel.ReadBlock(c.ID())
+	if !ok {
+		t.Fatalf("client %d published but ReadBlock says never", c.ID())
+	}
+	if !b.Consistent {
+		t.Fatal("single-writer publish read back inconsistent")
+	}
+	if got := b.Counters[obs.CtrAlloc]; got != allocs {
+		t.Errorf("telemetry alloc counter = %d, want %d", got, allocs)
+	}
+	if b.Publishes < 2 { // Connect heartbeats once, FlushMetrics publishes again
+		t.Errorf("publish count = %d, want >= 2", b.Publishes)
+	}
+	if b.Identity != uint64(os.Getpid()) {
+		t.Errorf("block identity = %d, want our pid %d", b.Identity, os.Getpid())
+	}
+	if b.TimeNS == 0 {
+		t.Error("published block carries no timestamp")
+	}
+
+	// A slot that never connected has no published block.
+	if _, ok := tel.ReadBlock(c.ID() + 1); ok {
+		t.Error("ReadBlock returned ok for a never-published client slot")
+	}
+	// The pool block always reads (CAS-added words, commit protocol unused).
+	if _, ok := tel.ReadBlock(0); !ok {
+		t.Error("pool block must always read ok")
+	}
+}
+
+// TestTelemetryCrashMidPublish kills a publication at every possible store
+// position and verifies the previously committed vector survives each one:
+// the double-buffered slot absorbs the torn write, the commit word is only
+// flipped by a publish that ran to completion.
+func TestTelemetryCrashMidPublish(t *testing.T) {
+	p := newTestPool(t)
+	tel := p.Telemetry()
+	const cid = 3
+
+	var committed [obs.NumCounters]uint64
+	for i := range committed {
+		committed[i] = 1000 + uint64(i)
+	}
+	sh := obs.NewRegistry(1).Shard(0)
+	sh.Observe(obs.HistAllocNS, 100)
+	tel.PublishShard(&haltingWriter{p: p, left: 1 << 20}, cid, &committed, sh, 42)
+
+	var torn [obs.NumCounters]uint64
+	for i := range torn {
+		torn[i] = 7777
+	}
+	// Stores per publish: time + counters + histogram vectors + commit.
+	total := 1 + int(obs.NumCounters) + int(obs.NumHistos)*obs.HistBuckets + 1
+	for budget := 0; budget < total; budget++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("budget %d: publish finished under a smaller store budget than %d", budget, total)
+				}
+			}()
+			tel.PublishShard(&haltingWriter{p: p, left: budget}, cid, &torn, sh, 43)
+		}()
+		b, ok := tel.ReadBlock(cid)
+		if !ok || !b.Consistent {
+			t.Fatalf("budget %d: committed block unreadable after torn publish", budget)
+		}
+		if b.Publishes != 1 || b.TimeNS != 42 {
+			t.Fatalf("budget %d: torn publish became visible (publishes=%d time=%d)", budget, b.Publishes, b.TimeNS)
+		}
+		if b.Counters != committed {
+			t.Fatalf("budget %d: committed vector corrupted: %v", budget, b.Counters)
+		}
+	}
+	// Sanity: the full budget does commit.
+	tel.PublishShard(&haltingWriter{p: p, left: total}, cid, &torn, sh, 43)
+	if b, _ := tel.ReadBlock(cid); b.Publishes != 2 || b.Counters != torn {
+		t.Fatalf("complete publish did not commit (publishes=%d)", b.Publishes)
+	}
+}
+
+// TestTelemetrySeqlockNoTornReads is the torn-read property under the race
+// detector: a writer publishes only uniform counter vectors (every counter
+// equals the publication's timestamp), so any consistent read that is not
+// uniform is a torn snapshot the seqlock failed to suppress.
+func TestTelemetrySeqlockNoTornReads(t *testing.T) {
+	p := newTestPool(t)
+	tel := p.Telemetry()
+	const cid = 5
+	rounds := 3000
+	if testing.Short() {
+		rounds = 300
+	}
+	sh := obs.NewRegistry(1).Shard(0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, ok := tel.ReadBlock(cid)
+				if !ok || !b.Consistent {
+					continue // not yet published, or retry budget exhausted
+				}
+				want := b.Counters[0]
+				if uint64(b.TimeNS) != want {
+					t.Errorf("torn read: time %d does not match counter %d", b.TimeNS, want)
+					return
+				}
+				for i, v := range b.Counters {
+					if v != want {
+						t.Errorf("torn read: counter %d = %d, rest of vector = %d", i, v, want)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var ctrs [obs.NumCounters]uint64
+	for k := 1; k <= rounds; k++ {
+		for i := range ctrs {
+			ctrs[i] = uint64(k)
+		}
+		tel.PublishShard(p.Device(), cid, &ctrs, sh, int64(k))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQueueDepths(t *testing.T) {
+	p := newTestPool(t)
+	a := connect(t, p)
+	b := connect(t, p)
+
+	if qs := p.Queues(); len(qs) != 0 {
+		t.Fatalf("fresh pool reports %d queues", len(qs))
+	}
+	qr, q, err := a.CreateQueue(b.ID(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r, blk, err := a.Malloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(q, blk); err != nil {
+			t.Fatal(err)
+		}
+		a.ReleaseRoot(r)
+	}
+	qs := p.Queues()
+	if len(qs) != 1 {
+		t.Fatalf("Queues() found %d queues, want 1", len(qs))
+	}
+	d := qs[0]
+	if d.Sender != a.ID() || d.Receiver != b.ID() || d.Capacity != 4 {
+		t.Errorf("queue endpoints = %d->%d cap %d, want %d->%d cap 4", d.Sender, d.Receiver, d.Capacity, a.ID(), b.ID())
+	}
+	if d.Depth() != 2 {
+		t.Errorf("queue depth = %d after 2 unreceived sends, want 2", d.Depth())
+	}
+	bq, err := b.OpenQueue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := b.Receive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ReleaseRoot(r)
+	if qs := p.Queues(); qs[0].Depth() != 1 {
+		t.Errorf("queue depth = %d after one receive, want 1", qs[0].Depth())
+	}
+	b.ReleaseRoot(bq)
+	a.ReleaseRoot(qr)
+}

@@ -2,6 +2,7 @@ package cxlshm_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -108,5 +109,47 @@ func TestStatsAfterCrashAndRecover(t *testing.T) {
 	fresh := newPool(t)
 	if n := fresh.Stats().Counters[obs.CtrAlloc.Name()]; n != 0 {
 		t.Errorf("fresh pool starts with alloc_ops=%d", n)
+	}
+}
+
+// TestStatsCarriesMonitorRecoveries: once the monitor recovers a silent
+// client, Pool.Stats() must surface the recovery record — including its
+// detection-to-recovered duration — and LastRecovery must return it.
+func TestStatsCarriesMonitorRecoveries(t *testing.T) {
+	p := newPool(t)
+	defer p.Close()
+	victim, err := p.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The victim goes silent; the monitor must notice on its own.
+	p.StartMonitor(2*time.Millisecond, 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := p.LastRecovery(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never recovered the silent client")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := p.Stats()
+	if len(st.Recoveries) == 0 {
+		t.Fatal("Stats().Recoveries empty after a monitored recovery")
+	}
+	r := st.Recoveries[0]
+	if r.Client != victim.ID() || r.Duration <= 0 {
+		t.Errorf("recovery record = %+v, want client %d with positive duration", r, victim.ID())
+	}
+	if len(st.Fences) == 0 {
+		t.Error("Stats().Fences empty after a monitored recovery")
+	}
+	last, ok := p.LastRecovery()
+	if !ok || last.Client != r.Client {
+		t.Errorf("LastRecovery = %+v/%v, want %+v", last, ok, r)
 	}
 }
