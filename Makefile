@@ -5,7 +5,7 @@
 GO ?= go
 
 .PHONY: all build test vet race verify bench bench-fastpath bench-smoke \
-	test-mmap sweep top-smoke ci
+	test-mmap sweep corrupt fsck-smoke top-smoke ci bench-resilience
 
 all: verify
 
@@ -46,6 +46,33 @@ sweep:
 	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep
 	$(GO) run ./cmd/faultsim -sweep -max-writes 40 -recovery-sweep -backend mmap
 
+# corrupt runs the bounded corruption campaign on both backends: every
+# fault class (bit flip, torn write, stuck CAS) against every targetable
+# metadata region, each trial followed by the repairing fsck, a full
+# revalidation, and a rerun of the scripted workload over the repaired
+# pool. Violations print a `faultsim -corrupt` repro line and fail.
+corrupt:
+	$(GO) run ./cmd/faultsim -corrupt -resilience-out ""
+
+# bench-resilience runs the same campaign and (re)writes
+# BENCH_resilience.json in the repo root: repair success rate and
+# blast-radius distribution per fault class, both backends.
+bench-resilience:
+	$(GO) run ./cmd/faultsim -corrupt
+
+# fsck-smoke drives the operator-facing repair path end to end: build a
+# pool file, check it clean, flip a superblock bit and repair it in the
+# same invocation (a persisted superblock flip would brick the next
+# attach — geometry is read from the superblock), then demand a clean
+# re-check of the same file.
+fsck-smoke:
+	rm -f .ci-fsck.cxl
+	$(GO) run ./cmd/cxlsnap -create .ci-fsck.cxl -mmap -keys 100
+	$(GO) run ./cmd/cxlsnap -fsck .ci-fsck.cxl
+	$(GO) run ./cmd/cxlsnap -fsck .ci-fsck.cxl -flip 2:4 -repair
+	$(GO) run ./cmd/cxlsnap -fsck .ci-fsck.cxl
+	rm -f .ci-fsck.cxl
+
 # top-smoke drives the observer tooling end to end across processes: build
 # a pool on an mmap'd file, crash its client, attach cxltop read-only for
 # one JSON and one Prometheus snapshot, recover the pool, and pretty-print
@@ -68,8 +95,10 @@ ci: vet build test
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	$(MAKE) test-mmap
 	$(MAKE) sweep
+	$(MAKE) corrupt
 	$(GO) run ./cmd/faultsim -sweep -max-writes 8 -metrics
 	$(MAKE) top-smoke
+	$(MAKE) fsck-smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .

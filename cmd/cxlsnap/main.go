@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"time"
 
@@ -41,6 +43,9 @@ func main() {
 	create := flag.String("create", "", "create a pool, populate it, save it to this file")
 	open := flag.String("open", "", "attach a saved pool (image or mmap file), recover, and verify")
 	metrics := flag.String("metrics", "", "pretty-print a saved pool's telemetry region (read-only; no recovery)")
+	fsck := flag.String("fsck", "", "check a saved pool's metadata; with -repair, fix what can be fixed")
+	repair := flag.Bool("repair", false, "with -fsck: run the repairing fsck and write the result back")
+	flip := flag.String("flip", "", `with -fsck: first flip a bit ("addr" or "addr:bit", addr hex ok) — self-test aid`)
 	mmap := flag.Bool("mmap", false, "with -create: back the pool with the file itself (no-copy, cross-process)")
 	keys := flag.Int("keys", 500, "keys to store")
 	flag.Parse()
@@ -58,10 +63,95 @@ func main() {
 		if err := doMetrics(*metrics); err != nil {
 			fail(err)
 		}
+	case *fsck != "":
+		if err := doFsck(*fsck, *repair, *flip); err != nil {
+			fail(err)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// doFsck attaches a saved pool and audits its metadata. Without -repair it
+// is a pure detector (nonzero exit on issues); with -repair it runs the
+// repairing fsck, prints the full RepairReport (actions and blast radius),
+// and persists the repaired pool back to the file.
+func doFsck(path string, repair bool, flip string) error {
+	pool, err := attach(path)
+	if err != nil {
+		return err
+	}
+	defer pool.CloseDevice()
+
+	if flip != "" {
+		addrSpec, bitSpec, _ := strings.Cut(flip, ":")
+		a, err := strconv.ParseUint(strings.TrimPrefix(addrSpec, "0x"), 16, 64)
+		if err != nil {
+			if a, err = strconv.ParseUint(addrSpec, 10, 64); err != nil {
+				return fmt.Errorf("fsck: bad -flip address %q", addrSpec)
+			}
+		}
+		bit := uint64(0)
+		if bitSpec != "" {
+			if bit, err = strconv.ParseUint(bitSpec, 10, 64); err != nil || bit > 63 {
+				return fmt.Errorf("fsck: bad -flip bit %q", bitSpec)
+			}
+		}
+		old := pool.Device().Load(a)
+		pool.Device().Store(a, old^(1<<bit))
+		fmt.Printf("flipped bit %d of word %#x (%#x -> %#x)\n", bit, a, old, old^(1<<bit))
+	}
+
+	res := check.Validate(pool)
+	fmt.Printf("fsck %s: %d live objects, %d issues\n", path, res.AllocatedObjects, len(res.Issues))
+	for _, is := range res.Issues {
+		fmt.Printf("  %s\n", is)
+	}
+	if !repair {
+		if !res.Clean() {
+			return fmt.Errorf("pool has %d issues (re-run with -repair)", len(res.Issues))
+		}
+		fmt.Println("OK: pool metadata is clean")
+		return nil
+	}
+
+	svc, err := recovery.NewService(pool)
+	if err != nil {
+		return err
+	}
+	rep := check.Repair(pool, check.RepairConfig{
+		Recover: func(cid int) error { _, err := svc.RecoverClient(cid); return err },
+		Log:     func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+	})
+	fmt.Printf("repair: %d rounds, %d actions\n", rep.Rounds, len(rep.Actions))
+	for _, a := range rep.Actions {
+		fmt.Printf("  [%s] @%#x %s\n", a.Kind, a.Addr, a.Detail)
+	}
+	b := rep.Blast
+	fmt.Printf("blast radius: %d words rewritten, %d objects repaired, %d objects + %d pages quarantined, %d objects lost, %d refs severed",
+		b.WordsRewritten, b.ObjectsRepaired, b.ObjectsQuarantined, b.PagesQuarantined, b.ObjectsLost, b.RefsSevered)
+	if len(b.ClientsAffected) > 0 {
+		fmt.Printf(", clients affected %v", b.ClientsAffected)
+	}
+	fmt.Println()
+	if !rep.Repaired {
+		return fmt.Errorf("pool still has %d issues after repair", len(rep.Post.Issues))
+	}
+
+	// Persist the repaired state: mmap pools already mutated the file (just
+	// sync); snapshot images get rewritten.
+	if md, ok := cxl.Bottom(pool.Device()).(*cxl.MapDevice); ok {
+		if err := md.Sync(); err != nil {
+			return err
+		}
+	} else {
+		if err := writeImage(path, pool.Snapshot()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("OK: pool repaired and written back to %s (%d issues fixed)\n", path, len(rep.Pre.Issues))
+	return nil
 }
 
 func doCreate(path string, keys int, mmap bool) error {

@@ -148,6 +148,10 @@ func render(w *os.File, path string, cur, prev *sample, nevents int) {
 		fmt.Fprintf(w, "   detect→recovered p50<%s p99<%s", humanNS(hs.P50NS), humanNS(hs.P99NS))
 	}
 	fmt.Fprintln(w)
+	if pc[obs.CtrFsckPass] > 0 {
+		fmt.Fprintf(w, "fsck: %d passes, %d issues found, %d repair actions, %d quarantined\n",
+			pc[obs.CtrFsckPass], pc[obs.CtrFsckIssues], pc[obs.CtrRepairAction], pc[obs.CtrQuarantine])
+	}
 	fmt.Fprintln(w)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

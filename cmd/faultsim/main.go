@@ -42,6 +42,10 @@ func main() {
 	systematic := flag.Bool("systematic", false, "also crash at every occurrence of every crash point")
 	metrics := flag.Bool("metrics", false, "collect pool metrics; write FAULTSIM_metrics.json and print a summary")
 	doSweep := flag.Bool("sweep", false, "run the exhaustive access-granular crash sweep instead of trials")
+	doCorrupt := flag.Bool("corrupt", false, "run the corruption campaign (bit flips, torn writes, stuck CAS) with repair")
+	region := flag.String("region", "", "with -corrupt: restrict to one region (comma-separated ok; empty = all)")
+	class := flag.String("class", "", "with -corrupt: restrict to one fault class (comma-separated ok; empty = all)")
+	resilienceOut := flag.String("resilience-out", "BENCH_resilience.json", "with -corrupt: write the resilience report here (empty = skip)")
 	maxWrites := flag.Int("max-writes", 0, "with -sweep: bound crash positions per operation (0 = every write)")
 	recoverySweep := flag.Bool("recovery-sweep", false, "with -sweep: also crash the recovery pass at each of its own writes")
 	repro := flag.String("repro", "", `reproduce one sweep position: "op=NAME access=N [recovery-access=R]"`)
@@ -49,6 +53,13 @@ func main() {
 	flag.Parse()
 	if *metrics {
 		obs.EnableGlobal()
+	}
+
+	if *doCorrupt {
+		if err := runCorrupt(*seed, *region, *class, *resilienceOut); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *doSweep || *repro != "" {

@@ -69,6 +69,12 @@ const (
 	// MetaQueue marks a block holding a transfer queue (§5.2); recovery and
 	// the registry sweep recognise queues by this flag.
 	MetaQueue = 1 << 2
+	// MetaQuarantined marks a block the repairing fsck judged irreparably
+	// damaged: it stays flagged allocated so no free list ever hands it out
+	// again, but validators exclude it from reference accounting, scans skip
+	// it, and its segment is never returned to the free pool while the flag
+	// is set. The flag is sticky; only reformatting the pool clears it.
+	MetaQuarantined = 1 << 3
 )
 
 // MaxEmbedRefs bounds the embedded-reference count storable in the meta word.
@@ -97,6 +103,10 @@ func UnpackMeta(w uint64) Meta {
 
 // Allocated reports whether the meta word describes an allocated block.
 func (m Meta) Allocated() bool { return m.Flags&MetaAllocated != 0 }
+
+// Quarantined reports whether the block was quarantined by the repairing
+// fsck.
+func (m Meta) Quarantined() bool { return m.Flags&MetaQuarantined != 0 }
 
 // Block layout: [header word][meta word][data words...]. The first EmbedCnt
 // data words are embedded references (machine-independent Addrs).
@@ -195,6 +205,11 @@ const (
 	PageKindUnused  = 0
 	PageKindNormal  = 1
 	PageKindRootRef = 2
+	// PageKindQuarantined marks a page whose metadata the repairing fsck
+	// could not reconstruct (e.g. an unrecognizable size class): the page's
+	// contents are written off, allocators and scans must not touch it, and
+	// references into it are reported as quarantined rather than wild.
+	PageKindQuarantined = 3
 )
 
 // PageMeta is the unpacked form of page meta word 0.

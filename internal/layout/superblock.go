@@ -43,7 +43,10 @@ const (
 //	2  versioned superblock introduced
 //	3  crash-surviving telemetry region appended after the segments area
 //	   (per-client metric blocks, recovery timelines, shared event ring)
-const LayoutVersion = 3
+//	4  quarantine markers (MetaQuarantined block flag, PageKindQuarantined)
+//	   written by the repairing fsck, plus repair counters growing the
+//	   telemetry metric slots
+const LayoutVersion = 4
 
 // Superblock is the decoded pool header.
 type Superblock struct {

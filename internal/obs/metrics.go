@@ -63,37 +63,46 @@ const (
 	CtrRedoReplay    // interrupted transactions replayed via Conditions 1/2
 	CtrMonitorTick   // monitor rounds
 
+	CtrFsckPass     // repairing-fsck passes executed
+	CtrFsckIssues   // issues found by fsck validation passes
+	CtrRepairAction // individual repair actions applied (rewrites, rebuilds, reaps)
+	CtrQuarantine   // blocks/pages written off as irreparable
+
 	NumCounters // sentinel
 )
 
 // counterNames indexes Counter -> stable export name.
 var counterNames = [NumCounters]string{
-	CtrAlloc:         "alloc_ops",
-	CtrAllocFail:     "alloc_fail",
-	CtrAllocHuge:     "alloc_huge",
-	CtrAllocNanos:    "alloc_nanos",
-	CtrFree:          "free_ops",
-	CtrFreeHuge:      "free_huge",
-	CtrFlush:         "flush_ops",
-	CtrFence:         "fence_ops",
-	CtrSegClaim:      "segment_claims",
-	CtrCASAttempt:    "refcnt_cas_attempts",
-	CtrCASRetry:      "refcnt_cas_retries",
-	CtrEraBump:       "era_bumps",
-	CtrQueueSend:     "queue_send",
-	CtrQueueReceive:  "queue_receive",
-	CtrQueueFull:     "queue_full",
+	CtrAlloc:          "alloc_ops",
+	CtrAllocFail:      "alloc_fail",
+	CtrAllocHuge:      "alloc_huge",
+	CtrAllocNanos:     "alloc_nanos",
+	CtrFree:           "free_ops",
+	CtrFreeHuge:       "free_huge",
+	CtrFlush:          "flush_ops",
+	CtrFence:          "fence_ops",
+	CtrSegClaim:       "segment_claims",
+	CtrCASAttempt:     "refcnt_cas_attempts",
+	CtrCASRetry:       "refcnt_cas_retries",
+	CtrEraBump:        "era_bumps",
+	CtrQueueSend:      "queue_send",
+	CtrQueueReceive:   "queue_receive",
+	CtrQueueFull:      "queue_full",
 	CtrQueueEmpty:     "queue_empty",
 	CtrQueueStaleSlot: "queue_stale_slot",
-	CtrLeakFlag:      "segments_flagged_leaking",
-	CtrScanPass:      "segment_scans",
-	CtrScanReclaimed: "scan_blocks_reclaimed",
-	CtrScanRelinked:  "scan_blocks_relinked",
-	CtrRootSwept:     "rootrefs_swept",
-	CtrClientFenced:  "clients_fenced",
-	CtrRecoveryPass:  "recovery_passes",
-	CtrRedoReplay:    "redo_replays",
-	CtrMonitorTick:   "monitor_ticks",
+	CtrLeakFlag:       "segments_flagged_leaking",
+	CtrScanPass:       "segment_scans",
+	CtrScanReclaimed:  "scan_blocks_reclaimed",
+	CtrScanRelinked:   "scan_blocks_relinked",
+	CtrRootSwept:      "rootrefs_swept",
+	CtrClientFenced:   "clients_fenced",
+	CtrRecoveryPass:   "recovery_passes",
+	CtrRedoReplay:     "redo_replays",
+	CtrMonitorTick:    "monitor_ticks",
+	CtrFsckPass:       "fsck_passes",
+	CtrFsckIssues:     "fsck_issues_found",
+	CtrRepairAction:   "repair_actions",
+	CtrQuarantine:     "quarantines",
 }
 
 // Name returns the counter's stable export name.

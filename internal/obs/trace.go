@@ -22,6 +22,8 @@ const (
 	EvScanFinished                          // scan done; A = reclaimed, B = relinked
 	EvRedoReplayed                          // interrupted txn replayed; A = redo op, B = deciding condition (1/2)
 	EvRecoveryFailed                        // RecoverClient errored; A = failed attempts so far for Client
+	EvRepairApplied                         // fsck repaired the pool; A = issues found, B = actions applied
+	EvRepairFailed                          // fsck/maintenance failed; A = failed attempts, Segment set for scan duty
 )
 
 var eventNames = map[EventType]string{
@@ -33,6 +35,8 @@ var eventNames = map[EventType]string{
 	EvScanFinished:     "scan_finished",
 	EvRedoReplayed:     "redo_replayed",
 	EvRecoveryFailed:   "recovery_failed",
+	EvRepairApplied:    "repair_applied",
+	EvRepairFailed:     "repair_failed",
 }
 
 // String returns the event type's stable export name.

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -43,7 +44,15 @@ type Monitor struct {
 	// clients whose recovery keeps failing.
 	backoff map[int]int
 	nextTry map[int]uint64
-	ticks   uint64
+	// scanBackoff/scanNextTry do the same per segment for maintenance scans
+	// that panic on damaged metadata: the scan is skipped until its retry
+	// tick instead of panicking the monitor every interval.
+	scanBackoff map[int]int
+	scanNextTry map[int]uint64
+	ticks       uint64
+
+	fsckEvery int
+	fsckFn    func() (bool, error)
 
 	// recoverFn performs one recovery attempt; defaults to the service's
 	// RecoverClient. Tests override it to inject persistent failures.
@@ -53,14 +62,18 @@ type Monitor struct {
 	done chan struct{}
 }
 
-// RecoveryFailure records one failed recovery attempt; the monitor retries
-// with exponential backoff and keeps every error here rather than swallowing
-// it.
+// RecoveryFailure records one failed monitor duty — a recovery attempt, a
+// maintenance scan, or an fsck pass; the monitor retries with exponential
+// backoff and keeps every error here rather than swallowing it.
 type RecoveryFailure struct {
-	Client int       `json:"client"`
-	Time   time.Time `json:"time"`
-	Err    error     `json:"-"`
-	Error  string    `json:"error"`
+	// Op names the duty that failed: "recovery", "scan", or "fsck".
+	Op     string `json:"op"`
+	Client int    `json:"client,omitempty"`
+	// Segment is the scanned segment for Op=="scan" (-1 otherwise).
+	Segment int       `json:"segment,omitempty"`
+	Time    time.Time `json:"time"`
+	Err     error     `json:"-"`
+	Error   string    `json:"error"`
 }
 
 // FenceRecord describes one fencing decision the monitor acted on: who was
@@ -89,6 +102,15 @@ type MonitorConfig struct {
 	// Threshold is how many consecutive unchanged heartbeats declare a
 	// client dead (default 3).
 	Threshold int
+	// FsckEvery, when positive, runs a repairing fsck every FsckEvery ticks
+	// as a monitor duty (default 0: disabled — fsck stays an operator
+	// action via cxlsnap/faultsim, and write counts stay deterministic).
+	FsckEvery int
+	// Fsck performs one fsck pass; required when FsckEvery > 0. It returns
+	// whether the pool ended clean. Injected as a function so the recovery
+	// package doesn't hard-depend on the checker (callers pass a closure
+	// over check.Repair).
+	Fsck func() (clean bool, err error)
 }
 
 // NewMonitor creates a monitor driving the given recovery service.
@@ -100,18 +122,22 @@ func NewMonitor(svc *Service, cfg MonitorConfig) *Monitor {
 		cfg.Threshold = 3
 	}
 	m := &Monitor{
-		svc:       svc,
-		interval:  cfg.Interval,
-		threshold: cfg.Threshold,
-		lastBeat:  make(map[int]uint64),
-		seen:      make(map[int]bool),
-		misses:    make(map[int]int),
-		firstMiss: make(map[int]int64),
-		deadSeen:  make(map[int]bool),
-		backoff:   make(map[int]int),
-		nextTry:   make(map[int]uint64),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		svc:         svc,
+		interval:    cfg.Interval,
+		threshold:   cfg.Threshold,
+		lastBeat:    make(map[int]uint64),
+		seen:        make(map[int]bool),
+		misses:      make(map[int]int),
+		firstMiss:   make(map[int]int64),
+		deadSeen:    make(map[int]bool),
+		backoff:     make(map[int]int),
+		nextTry:     make(map[int]uint64),
+		scanBackoff: make(map[int]int),
+		scanNextTry: make(map[int]uint64),
+		fsckEvery:   cfg.FsckEvery,
+		fsckFn:      cfg.Fsck,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	m.recoverFn = func(cid int) (Report, error) { return svc.RecoverClient(cid) }
 	return m
@@ -282,27 +308,91 @@ func (m *Monitor) Tick() {
 	}
 
 	// Background maintenance: abandoned / flagged segments, dead huge
-	// objects, stale queue registrations.
+	// objects, stale queue registrations. Scans are panic-guarded: a scan
+	// walking corrupted metadata surfaces as a RecoveryFailure with
+	// per-segment backoff instead of killing the monitor goroutine.
 	for seg := 0; seg < geo.NumSegments; seg++ {
+		if m.ticks < m.scanNextTry[seg] {
+			continue
+		}
 		st := p.SegState(seg)
 		switch st.State {
 		case layout.SegAbandoned:
-			m.svc.exec.ScanSegment(seg, true)
+			m.scanLocked(seg)
 		case layout.SegHugeHead:
 			if p.ClientDeadOrRecovered(int(st.CID)) {
-				m.svc.exec.ScanSegment(seg, true)
+				m.scanLocked(seg)
 			}
 		}
 	}
 	p.SweepQueueRegistry()
+	if m.fsckEvery > 0 && m.fsckFn != nil && m.ticks%uint64(m.fsckEvery) == 0 {
+		m.fsckLocked()
+	}
 	m.svc.exec.Heartbeat()
+}
+
+// scanLocked runs one maintenance scan, converting a panic into a typed
+// failure with exponential per-segment backoff and an EvRepairFailed trace.
+func (m *Monitor) scanLocked(seg int) {
+	defer func() {
+		pan := recover()
+		if pan == nil {
+			delete(m.scanBackoff, seg)
+			delete(m.scanNextTry, seg)
+			return
+		}
+		m.failures = append(m.failures, RecoveryFailure{
+			Op: "scan", Segment: seg, Time: time.Now(),
+			Error: fmt.Sprintf("scan of segment %d panicked: %v", seg, pan),
+		})
+		m.svc.pool.Obs().Trace(obs.Event{
+			Type: obs.EvRepairFailed, Segment: seg, A: uint64(m.scanBackoff[seg]/2 + 1),
+		})
+		b := m.scanBackoff[seg] * 2
+		if b == 0 {
+			b = 2
+		}
+		if b > 64 {
+			b = 64
+		}
+		m.scanBackoff[seg] = b
+		m.scanNextTry[seg] = m.ticks + uint64(b)
+	}()
+	m.svc.exec.ScanSegment(seg, true)
+}
+
+// fsckLocked runs the configured fsck duty, recording a panic or a dirty
+// result as a typed failure.
+func (m *Monitor) fsckLocked() {
+	var clean bool
+	var err error
+	pan := func() (pan any) {
+		defer func() { pan = recover() }()
+		clean, err = m.fsckFn()
+		return nil
+	}()
+	switch {
+	case pan != nil:
+		err = fmt.Errorf("fsck panicked: %v", pan)
+	case err == nil && !clean:
+		err = fmt.Errorf("fsck left the pool dirty")
+	}
+	if err == nil {
+		return
+	}
+	m.failures = append(m.failures, RecoveryFailure{
+		Op: "fsck", Segment: -1, Time: time.Now(), Err: err, Error: err.Error(),
+	})
+	m.svc.pool.Obs().Trace(obs.Event{Type: obs.EvRepairFailed, A: 1})
 }
 
 func (m *Monitor) recoverLocked(cid int) {
 	r, err := m.recoverFn(cid)
 	if err != nil {
 		m.failures = append(m.failures, RecoveryFailure{
-			Client: cid, Time: time.Now(), Err: err, Error: err.Error(),
+			Op: "recovery", Client: cid, Segment: -1,
+			Time: time.Now(), Err: err, Error: err.Error(),
 		})
 		n := 0
 		for _, f := range m.failures {

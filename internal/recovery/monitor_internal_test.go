@@ -129,3 +129,106 @@ func TestMonitorHeartbeatBootstrap(t *testing.T) {
 		t.Fatalf("fence misses = %d, want 3", f.Misses)
 	}
 }
+
+// A maintenance scan that panics on damaged metadata must not kill the
+// monitor: it surfaces as an Op=="scan" failure with per-segment backoff,
+// and the rest of the tick (heartbeats, other segments) keeps running.
+func TestMonitorScanPanicBacksOff(t *testing.T) {
+	p := newMonitorPool(t)
+	x, err := p.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := x.Malloc(64, 0); err != nil {
+		t.Fatal(err)
+	}
+	geo := p.Geometry()
+	dev := p.Device()
+	// Find the claimed segment, poison its page free-list head with a wild
+	// pointer, and force it abandoned so maintenance tries to scan it.
+	seg := -1
+	for s := 0; s < geo.NumSegments; s++ {
+		if p.SegState(s).CID == uint16(x.ID()) {
+			seg = s
+			break
+		}
+	}
+	if seg < 0 {
+		t.Fatal("no segment claimed")
+	}
+	dev.Store(geo.PageMetaAddr(seg, 1)+1, 1<<60)
+	st := p.SegState(seg)
+	st.State = layout.SegAbandoned
+	dev.Store(geo.SegStateAddr(seg), layout.PackSegState(st))
+	if err := p.MarkClientDead(x.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMonitor(svc, MonitorConfig{})
+	m.recoverFn = func(cid int) (Report, error) { return Report{}, nil }
+	for i := 0; i < 6; i++ {
+		m.Tick()
+	}
+	scans := 0
+	for _, f := range m.Failures() {
+		if f.Op == "scan" {
+			scans++
+			if f.Segment != seg || f.Error == "" {
+				t.Fatalf("bad scan failure record: %+v", f)
+			}
+		}
+	}
+	// Backoff: panic at tick 1, retry at tick 3, then tick 7 — 2 in 6 ticks.
+	if scans != 2 {
+		t.Fatalf("scan failures in 6 ticks = %d, want 2 (backoff)", scans)
+	}
+}
+
+// The optional fsck duty reports a dirty or panicking pass through
+// Failures() with Op=="fsck", without killing the monitor.
+func TestMonitorFsckDutySurfacesFailures(t *testing.T) {
+	p := newMonitorPool(t)
+	if _, err := p.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	m := NewMonitor(svc, MonitorConfig{
+		FsckEvery: 2,
+		Fsck: func() (bool, error) {
+			calls++
+			if calls == 2 {
+				panic("injected fsck panic")
+			}
+			return false, nil
+		},
+	})
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if calls != 2 {
+		t.Fatalf("fsck calls in 4 ticks with FsckEvery=2: %d, want 2", calls)
+	}
+	var dirty, panicked int
+	for _, f := range m.Failures() {
+		if f.Op != "fsck" {
+			continue
+		}
+		switch {
+		case f.Error == "fsck left the pool dirty":
+			dirty++
+		default:
+			panicked++
+		}
+	}
+	if dirty != 1 || panicked != 1 {
+		t.Fatalf("fsck failures: dirty=%d panicked=%d, want 1 and 1 (%+v)", dirty, panicked, m.Failures())
+	}
+}

@@ -34,7 +34,7 @@ type Client struct {
 	rootPages  []*ownedPage
 	// owned lists the shadows of owned segments in claim order; ownedBySeg
 	// indexes them for the free path's ownership test (no device load).
-	owned     []*ownedSeg
+	owned      []*ownedSeg
 	ownedBySeg map[int]*ownedSeg
 	// segCursor/hugeCursor stripe claim scans across clients so they do not
 	// all CAS-contend on the lowest free segments (alloc.go).

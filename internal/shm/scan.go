@@ -108,6 +108,12 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 	st := layout.UnpackSegState(w)
 	switch st.State {
 	case layout.SegHugeHead:
+		if layout.UnpackMeta(c.h.Load(c.geo.SegmentBase(seg) + layout.MetaOff)).Quarantined() {
+			// Quarantined by the repairing fsck: never reclaimed, never
+			// released — counting it live pins the whole run in place.
+			r.Live++
+			return r
+		}
 		hdr := layout.UnpackHeader(c.h.Load(c.geo.SegmentBase(seg) + layout.HeaderOff))
 		if hdr.RefCnt > 0 {
 			r.Live++
@@ -145,6 +151,9 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 	for p := 0; p < numPages; p++ {
 		meta := c.geo.PageMetaAddr(seg, p)
 		info := layout.UnpackPageMeta(c.h.Load(meta + pmInfo))
+		if info.Kind == layout.PageKindQuarantined {
+			continue
+		}
 		nextOff := layout.Addr(freeNextOff)
 		if info.Kind == layout.PageKindRootRef {
 			nextOff = layout.RootRefPptrOff
@@ -167,6 +176,11 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 			scanPos = end
 		}
 		switch info.Kind {
+		case layout.PageKindQuarantined:
+			// Written off by the repairing fsck: contents untouchable, and the
+			// page pins its segment (a released segment would recycle it).
+			r.Live++
+			continue
 		case layout.PageKindRootRef:
 			for slot := base; slot+layout.RootRefWords <= scanPos; slot += layout.RootRefWords {
 				if _, free := onList[slot]; free {
@@ -204,6 +218,10 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 					continue
 				}
 				m := layout.UnpackMeta(c.h.Load(b + layout.MetaOff))
+				if m.Quarantined() {
+					r.Live++ // sticky: pins the segment, never reclaimed
+					continue
+				}
 				if m.Allocated() {
 					hdr := layout.UnpackHeader(c.h.Load(b + layout.HeaderOff))
 					if hdr.RefCnt > 0 {

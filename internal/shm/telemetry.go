@@ -64,6 +64,12 @@ func (t *Telemetry) format() {
 	t.dev.Store(t.geo.TelHeaderAddr(layout.TelOffTimelineWords), layout.TelTimelineWords)
 }
 
+// Reformat rewrites the region header — the repairing fsck's remedy when a
+// corruption trial damaged the magic or dimension words. Metric blocks,
+// timelines and the ring are left as they are: their readers tolerate
+// arbitrary garbage record by record, only the header is load-bearing.
+func (t *Telemetry) Reformat() { t.format() }
+
 // Validate checks the region header against this build's dimensions. The
 // superblock's LayoutVersion gate already refuses incompatible pools;
 // this is the defense-in-depth check for tools that bypass it.
@@ -226,7 +232,8 @@ func (t *Telemetry) StampRecovered(cid, reclaimed, swept int, now int64) int64 {
 func (t *Telemetry) mirrorEvent(e obs.Event) {
 	switch e.Type {
 	case obs.EvClientFenced, obs.EvRecoveryStarted, obs.EvRecoveryFinished,
-		obs.EvRedoReplayed, obs.EvRecoveryFailed, obs.EvSegmentFlagged:
+		obs.EvRedoReplayed, obs.EvRecoveryFailed, obs.EvSegmentFlagged,
+		obs.EvRepairApplied, obs.EvRepairFailed:
 		t.AppendEvent(e)
 	}
 }
@@ -272,9 +279,9 @@ type TelemetryBlock struct {
 	// Consistent is false when the seqlock never settled within the retry
 	// budget (a pathological publish storm); the vectors are then the last
 	// attempt's possibly-torn read.
-	Consistent bool                                      `json:"consistent"`
-	Counters   [obs.NumCounters]uint64                   `json:"-"`
-	Histos     [obs.NumHistos][obs.HistBuckets]uint64    `json:"-"`
+	Consistent bool                                   `json:"consistent"`
+	Counters   [obs.NumCounters]uint64                `json:"-"`
+	Histos     [obs.NumHistos][obs.HistBuckets]uint64 `json:"-"`
 }
 
 // MarshalJSON renders the vectors under their stable export names (the
@@ -438,11 +445,11 @@ func (t *Telemetry) Events() []obs.Event {
 // TelemetrySnapshot is the whole region, decoded: what cxltop renders,
 // cxlsnap -metrics prints, and the JSON/Prometheus exporters serialize.
 type TelemetrySnapshot struct {
-	TimeNS    int64                      `json:"time_ns"`
-	Pool      TelemetryBlock             `json:"pool"`
-	Clients   []TelemetryBlock           `json:"clients,omitempty"`
-	Timelines []TelemetryTimeline        `json:"timelines,omitempty"`
-	Events    []obs.Event                `json:"events,omitempty"`
+	TimeNS    int64               `json:"time_ns"`
+	Pool      TelemetryBlock      `json:"pool"`
+	Clients   []TelemetryBlock    `json:"clients,omitempty"`
+	Timelines []TelemetryTimeline `json:"timelines,omitempty"`
+	Events    []obs.Event         `json:"events,omitempty"`
 }
 
 // Snapshot decodes every published client block, every stamped timeline,

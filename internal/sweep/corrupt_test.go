@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestCorruptCampaignHeap runs the full fault-class × region matrix on the
+// heap backend and demands zero violations: every trial must end repaired,
+// quarantined, or provably benign.
+func TestCorruptCampaignHeap(t *testing.T) {
+	trials, vs, err := RunCorrupt(CorruptConfig{Backend: "heap", Seed: 1, Log: t.Logf})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if want := len(faultinject.AllRegions) * len(faultinject.AllClasses); len(trials) != want {
+		t.Fatalf("got %d trials, want %d", len(trials), want)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %s (%s)", v.Detail, v.Op)
+	}
+	for _, tr := range trials {
+		if tr.Outcome == "violation" {
+			t.Errorf("trial %s x %s: violation — repro: %s", tr.Class, tr.Region, tr.Repro())
+		}
+	}
+}
+
+// TestCorruptCampaignMmapSubset exercises the mmap (file-backed,
+// cross-process layout) backend on a bounded slice of the matrix.
+func TestCorruptCampaignMmapSubset(t *testing.T) {
+	_, vs, err := RunCorrupt(CorruptConfig{
+		Backend: "mmap",
+		Seed:    1,
+		Regions: []faultinject.Region{faultinject.RegionBlockHeader, faultinject.RegionQueueSlot},
+		Log:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %s (%s)", v.Detail, v.Op)
+	}
+}
+
+// TestCorruptDeterminismAcrossBackends: same seed + same target spec must
+// yield an identical injected-fault sequence on both backends — the repro
+// contract behind `faultsim -corrupt -seed`.
+func TestCorruptDeterminismAcrossBackends(t *testing.T) {
+	cases := []struct {
+		region faultinject.Region
+		class  faultinject.Class
+	}{
+		{faultinject.RegionSegmentMeta, faultinject.ClassBitFlip},
+		{faultinject.RegionRedoLog, faultinject.ClassTorn},
+		{faultinject.RegionBlockHeader, faultinject.ClassStuckCAS},
+	}
+	for _, c := range cases {
+		var got [2][]faultinject.InjectedFault
+		for i, backend := range []string{"heap", "mmap"} {
+			trials, _, err := RunCorrupt(CorruptConfig{
+				Backend: backend,
+				Seed:    42,
+				Regions: []faultinject.Region{c.region},
+				Classes: []faultinject.Class{c.class},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s on %s: %v", c.class, c.region, backend, err)
+			}
+			if len(trials) != 1 {
+				t.Fatalf("%s/%s on %s: %d trials", c.class, c.region, backend, len(trials))
+			}
+			got[i] = trials[0].Faults
+		}
+		if len(got[0]) == 0 {
+			t.Errorf("%s/%s: no faults injected", c.class, c.region)
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Errorf("%s/%s: fault sequences diverge across backends:\nheap: %+v\nmmap: %+v",
+				c.class, c.region, got[0], got[1])
+		}
+	}
+}

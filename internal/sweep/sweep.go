@@ -362,10 +362,16 @@ func positions(w, cap int) []int {
 // Connection order is fixed (x=1, o=2, executor=3) so write counts are
 // reproducible.
 func setup(backend string, sw *faultinject.AccessSweeper) (*env, error) {
+	return setupWith(backend, []cxl.Middleware{cxl.WithAccessHook(sw.Hook)})
+}
+
+// setupWith is setup with an arbitrary middleware stack — the corruption
+// campaign swaps the access sweeper for the write-fault corruptor.
+func setupWith(backend string, mws []cxl.Middleware) (*env, error) {
 	p, err := shm.NewPool(shm.Config{
 		Geometry:   geometry(),
 		Backend:    backend,
-		Middleware: []cxl.Middleware{cxl.WithAccessHook(sw.Hook)},
+		Middleware: mws,
 	})
 	if err != nil {
 		return nil, err
