@@ -4,8 +4,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-fastpath bench-smoke \
-	test-mmap sweep corrupt fsck-smoke top-smoke ci bench-resilience
+.PHONY: all build test vet race verify bench bench-fastpath bench-compare \
+	bench-smoke test-mmap sweep corrupt fsck-smoke top-smoke ci \
+	bench-resilience
 
 all: verify
 
@@ -88,11 +89,14 @@ top-smoke:
 
 # ci is the continuous-integration gate (.github/workflows/ci.yml): vet,
 # tier-1 build+test, a race pass over the fast-path and queue tests on both
-# backends, the mmap-backend suite, the bounded crash sweep (one leg with
-# telemetry collection enabled), and the cxltop/cxlsnap observer smoke.
+# backends, the fast-path regression gate against the committed
+# BENCH_fastpath.json, the mmap-backend suite, the bounded crash sweep (one
+# leg with telemetry collection enabled), and the cxltop/cxlsnap observer
+# smoke.
 ci: vet build test
 	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
+	$(MAKE) bench-compare
 	$(MAKE) test-mmap
 	$(MAKE) sweep
 	$(MAKE) corrupt
@@ -104,6 +108,16 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .
 
 # bench-fastpath measures ns/op and device loads/stores/CAS per fast-path
-# operation and (re)writes BENCH_fastpath.json in the repo root.
+# operation and (re)writes BENCH_fastpath.json in the repo root, stamped
+# with the build/geometry provenance that produced it.
 bench-fastpath:
 	$(GO) run ./cmd/cxlbench fastpath
+
+# bench-compare re-measures the fast paths and fails when any operation's
+# device accesses per op regressed more than 10% against the committed
+# BENCH_fastpath.json. Wall time is not compared (machine-local); the
+# access counts are deterministic, so this is a sharp CI gate. After an
+# intentional improvement, re-run `make bench-fastpath` and commit the new
+# baseline.
+bench-compare:
+	$(GO) run ./cmd/cxlbench fastpath-compare

@@ -61,7 +61,7 @@ func main() {
 				fatal(err)
 			}
 			bench.PrintFastPath(os.Stdout, rows)
-			data, err := bench.MarshalFastPath(rows)
+			data, err := bench.MarshalFastPath(rows, fastPathProvenance())
 			if err != nil {
 				fatal(err)
 			}
@@ -69,6 +69,27 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println("written to BENCH_fastpath.json")
+		case "fastpath-compare":
+			committed, err := os.ReadFile("BENCH_fastpath.json")
+			if err != nil {
+				fatal(fmt.Errorf("no committed baseline (run `cxlbench fastpath` first): %w", err))
+			}
+			want, err := bench.UnmarshalFastPath(committed)
+			if err != nil {
+				fatal(err)
+			}
+			rows, err := bench.FastPath(scale)
+			if err != nil {
+				fatal(err)
+			}
+			bench.PrintFastPath(os.Stdout, rows)
+			if regs := bench.CompareFastPath(want, rows, 0.10); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+				}
+				fatal(fmt.Errorf("%d fast-path op(s) regressed >10%% vs committed BENCH_fastpath.json", len(regs)))
+			}
+			fmt.Println("all ops within 10% of committed BENCH_fastpath.json")
 		case "fig6":
 			rows, err := bench.Fig6(scale, counts)
 			if err != nil {
@@ -163,8 +184,24 @@ func main() {
 	}
 }
 
+// fastPathProvenance stamps BENCH_fastpath.json with what produced it:
+// build/environment plus the fixed pool geometry bench.FastPath uses.
+func fastPathProvenance() *obs.Provenance {
+	backend := os.Getenv(shm.BackendEnv)
+	if backend == "" {
+		backend = "heap"
+	}
+	prov := obs.CollectProvenance("cxlbench", backend)
+	prov.LayoutVersion = layout.LayoutVersion
+	prov.MaxClients = 8
+	prov.NumSegments = 128
+	prov.SegmentWords = 1 << 15
+	prov.PageWords = 1 << 11
+	return prov
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, `cxlbench — regenerate the CXL-SHM paper's evaluation
+	fmt.Fprint(os.Stderr, `cxlbench — regenerate the CXL-SHM paper's evaluation
 
 usage: cxlbench [-scale F] [-threads 1,2,4,8] [-metrics] <experiment>...
 
@@ -175,6 +212,9 @@ tables.
 experiments:
   table1    memory-type micro-benchmark (paper Table 1)
   fastpath  device accesses + ns per fast-path op; writes BENCH_fastpath.json
+  fastpath-compare
+            re-measure and fail if any op's device accesses regressed >10%
+            against the committed BENCH_fastpath.json (the CI gate)
   fig6      threadtest/shbench allocator comparison (Figure 6)
   fig7      allocation fast-path cost breakdown (Figure 7)
   recovery  recovery throughput vs GC-based recovery (§6.2.1)

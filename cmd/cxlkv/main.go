@@ -122,8 +122,17 @@ func run(writers, readers, keys, ops int, poolFile string) error {
 				if kv.Partition(k, buckets, writers) != w {
 					continue // not ours: the single-writer rule
 				}
-				v[0] = byte(k)
-				if err := s.Put(k, v); err != nil {
+				// In-place update through the zero-copy lease (every key is
+				// preloaded); Put only on the insert path.
+				err := s.Update(k, func(val []byte) error {
+					val[0] = byte(k)
+					return nil
+				})
+				if err == kv.ErrNotFound {
+					v[0] = byte(k)
+					err = s.Put(k, v)
+				}
+				if err != nil {
 					errCh <- fmt.Errorf("writer %d: %w", w, err)
 					return
 				}
@@ -152,10 +161,17 @@ func run(writers, readers, keys, ops int, poolFile string) error {
 			stream, _ := workload.NewKVStream(workload.KVConfig{
 				Keys: keys, WriteRatio: 0, Zipf: 0.9, Seed: int64(100 + r),
 			})
-			buf := make([]byte, 64)
+			// Reads go through the zero-copy view: the payload is consumed
+			// straight from the record's device words, no copy, no per-op
+			// allocation.
+			var sink byte
 			for i := 0; i < ops; i++ {
 				k := stream.Next().Key
-				if _, err := s.Get(k, buf); err != nil && err != kv.ErrNotFound {
+				err := s.View(k, func(val []byte) error {
+					sink ^= val[0]
+					return nil
+				})
+				if err != nil && err != kv.ErrNotFound {
 					errCh <- fmt.Errorf("reader %d: %w", r, err)
 					return
 				}

@@ -9,7 +9,7 @@
 //
 //	faultsim [-trials N] [-seed S] [-systematic] [-backend heap|mmap]
 //	faultsim -sweep [-max-writes N] [-recovery-sweep] [-backend heap|mmap]
-//	faultsim -repro "op=NAME access=N [recovery-access=R]" [-backend heap|mmap]
+//	faultsim -repro "op=NAME access=N [epoch=T] [recovery-access=R]" [-backend heap|mmap]
 //
 // -backend mmap runs every trial on an mmap'd-file device (cxl.MapDevice),
 // exercising crash recovery over the cross-process backend's data path.
@@ -48,7 +48,7 @@ func main() {
 	resilienceOut := flag.String("resilience-out", "BENCH_resilience.json", "with -corrupt: write the resilience report here (empty = skip)")
 	maxWrites := flag.Int("max-writes", 0, "with -sweep: bound crash positions per operation (0 = every write)")
 	recoverySweep := flag.Bool("recovery-sweep", false, "with -sweep: also crash the recovery pass at each of its own writes")
-	repro := flag.String("repro", "", `reproduce one sweep position: "op=NAME access=N [recovery-access=R]"`)
+	repro := flag.String("repro", "", `reproduce one sweep position: "op=NAME access=N [epoch=T] [recovery-access=R]"`)
 	flag.StringVar(&backend, "backend", "", "device backend per trial: heap (default) or mmap")
 	flag.Parse()
 	if *metrics {
@@ -466,6 +466,11 @@ func parseRepro(spec string, cfg *sweep.Config) error {
 			} else {
 				cfg.RecoveryAccess = n
 			}
+		case "epoch":
+			// Informational coordinate: names the publication-epoch trigger
+			// (refill/heartbeat/scan/detach/...) the crash landed in. The
+			// replay is fully determined by op+access; accept it so repro
+			// lines paste back verbatim.
 		default:
 			return fmt.Errorf("repro: unknown key %q", k)
 		}

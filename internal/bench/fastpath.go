@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cxl"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
 
@@ -208,11 +209,60 @@ func PrintFastPath(w io.Writer, rows []FastPathRow) {
 	PrintTable(w, []string{"Op", "ns/op", "loads/op", "stores/op", "CAS/op", "accesses/op"}, table)
 }
 
+// fastPathDoc is the BENCH_fastpath.json document shape. Provenance says
+// what build and environment produced the committed numbers — without it a
+// stale BENCH_fastpath.json is unfalsifiable.
+type fastPathDoc struct {
+	Benchmark  string          `json:"benchmark"`
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
+	Rows       []FastPathRow   `json:"rows"`
+}
+
 // MarshalFastPath renders the rows as the BENCH_fastpath.json document.
-func MarshalFastPath(rows []FastPathRow) ([]byte, error) {
-	doc := struct {
-		Benchmark string        `json:"benchmark"`
-		Rows      []FastPathRow `json:"rows"`
-	}{Benchmark: "fastpath", Rows: rows}
-	return json.MarshalIndent(doc, "", "  ")
+// prov may be nil (tests).
+func MarshalFastPath(rows []FastPathRow, prov *obs.Provenance) ([]byte, error) {
+	return json.MarshalIndent(fastPathDoc{
+		Benchmark: "fastpath", Provenance: prov, Rows: rows,
+	}, "", "  ")
+}
+
+// UnmarshalFastPath parses a BENCH_fastpath.json document.
+func UnmarshalFastPath(data []byte) ([]FastPathRow, error) {
+	var doc fastPathDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Benchmark != "fastpath" {
+		return nil, fmt.Errorf("not a fastpath document (benchmark %q)", doc.Benchmark)
+	}
+	return doc.Rows, nil
+}
+
+// CompareFastPath checks fresh rows against committed ones, returning one
+// message per regression: an operation whose device accesses per op grew
+// more than tolerance (fractional, e.g. 0.10) over the committed value, or
+// an operation that disappeared. Wall time is deliberately not compared —
+// ns/op is machine-local, while device accesses are the deterministic,
+// architecture-independent cost this benchmark exists to pin.
+func CompareFastPath(committed, fresh []FastPathRow, tolerance float64) []string {
+	byOp := make(map[string]FastPathRow, len(fresh))
+	for _, r := range fresh {
+		byOp[r.Op] = r
+	}
+	var regressions []string
+	for _, want := range committed {
+		got, ok := byOp[want.Op]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: missing from fresh run", want.Op))
+			continue
+		}
+		if limit := want.Accesses * (1 + tolerance); got.Accesses > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f device accesses/op, committed %.2f (+%.0f%% > %.0f%% tolerance)",
+				want.Op, got.Accesses, want.Accesses,
+				(got.Accesses/want.Accesses-1)*100, tolerance*100))
+		}
+	}
+	return regressions
 }

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFastPathMarshalRoundTrip(t *testing.T) {
+	rows := []FastPathRow{
+		{Op: "malloc", NsPerOp: 500, Stores: 7, Accesses: 7.16},
+		{Op: "free", NsPerOp: 480, Stores: 9, CASes: 1, Accesses: 10.04},
+	}
+	prov := obs.CollectProvenance("test", "heap")
+	data, err := MarshalFastPath(rows, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"provenance"`) {
+		t.Fatal("document carries no provenance block")
+	}
+	got, err := UnmarshalFastPath(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Op != "malloc" || got[1].Accesses != 10.04 {
+		t.Fatalf("round trip mangled rows: %+v", got)
+	}
+	if _, err := UnmarshalFastPath([]byte(`{"benchmark":"other","rows":[]}`)); err == nil {
+		t.Fatal("wrong benchmark name must be rejected")
+	}
+}
+
+func TestCompareFastPath(t *testing.T) {
+	committed := []FastPathRow{
+		{Op: "malloc", Accesses: 10},
+		{Op: "free", Accesses: 20},
+	}
+	// Within tolerance (exactly +10% is allowed).
+	fresh := []FastPathRow{
+		{Op: "malloc", Accesses: 11},
+		{Op: "free", Accesses: 19},
+	}
+	if regs := CompareFastPath(committed, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// One op over tolerance, one op missing.
+	fresh = []FastPathRow{{Op: "malloc", Accesses: 11.5}}
+	regs := CompareFastPath(committed, fresh, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "malloc") || !strings.Contains(regs[1], "missing") {
+		t.Fatalf("regression messages: %v", regs)
+	}
+	// Improvements never flag.
+	fresh = []FastPathRow{
+		{Op: "malloc", Accesses: 5},
+		{Op: "free", Accesses: 12},
+	}
+	if regs := CompareFastPath(committed, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}

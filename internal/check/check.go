@@ -214,6 +214,27 @@ func (v *validator) load(a layout.Addr) uint64 {
 	return v.p.Device().Load(a)
 }
 
+// clientAlive reports whether cid names a currently-live client. Deferred
+// metadata publication (the shm shadow's pending tier) makes free-marked
+// blocks "on no list" the expected steady state while their freeer lives:
+// the freeer either publishes them at its next epoch boundary, or dies — at
+// which point its status leaves ClientAlive, the gate stops excusing, and
+// the segment-local scan is responsible for re-linking them.
+func (v *validator) clientAlive(cid int) bool {
+	if cid < 1 || cid > v.geo.MaxClients {
+		return false
+	}
+	return v.load(v.geo.ClientStatusAddr(cid)) == layout.ClientAlive
+}
+
+// segOwnerAlive reports whether seg is actively owned by a live client.
+// RootRef frees are always owner-local, so a lost free slot in such a
+// segment is a pending (unpublished) free of the live owner, not damage.
+func (v *validator) segOwnerAlive(seg int) bool {
+	st := layout.UnpackSegState(v.load(v.geo.SegStateAddr(seg)))
+	return st.State == layout.SegActive && v.clientAlive(int(st.CID))
+}
+
 // inQuarantine reports whether a points at (or into) quarantined territory.
 func (v *validator) inQuarantine(a layout.Addr) bool {
 	if v.quarB[a] {
@@ -439,7 +460,7 @@ func (v *validator) walkPagedSegment(seg int) {
 			for slot := base; slot+layout.RootRefWords <= layout.Addr(scanPos); slot += layout.RootRefWords {
 				inUse, _ := layout.UnpackRootRef(v.load(slot))
 				if !inUse {
-					if v.free[slot] == 0 {
+					if v.free[slot] == 0 && !v.segOwnerAlive(seg) {
 						v.res.add(LostFreeBlock, slot, "free RootRef slot on no list (%d/%d)", seg, pg)
 						v.hints.lostFree = append(v.hints.lostFree, lostHint{slot, seg, pg, true})
 					}
@@ -497,6 +518,11 @@ func (v *validator) walkPagedSegment(seg int) {
 					v.res.FreeBlocks++
 					switch v.free[b] {
 					case 0:
+						// The meta embed field records the freeer; a live
+						// freeer holds the block on its pending tier.
+						if v.clientAlive(int(m.EmbedCnt)) {
+							break
+						}
 						v.res.add(LostFreeBlock, b, "free block on no list (%d/%d)", seg, pg)
 						v.hints.lostFree = append(v.hints.lostFree, lostHint{b, seg, pg, false})
 					case 1:

@@ -138,8 +138,9 @@ func TestDetectsDoubleFree(t *testing.T) {
 	if _, err := c.ReleaseRoot(root); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt: push the freed block onto its page free list a second time
-	// through the segment's client_free list.
+	// Publish the deferred free so the block is on its page free list, then
+	// corrupt: push it a second time through the segment's client_free list.
+	c.Flush()
 	geo := p.Geometry()
 	seg := geo.SegmentIndexOf(block)
 	cf := geo.SegClientFreeAddr(seg)

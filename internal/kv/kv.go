@@ -63,6 +63,9 @@ type Store struct {
 	// eras around traversals and deletes retire nodes instead of freeing
 	// them, making concurrent read-during-delete safe.
 	hazard bool
+	// scratch is the reusable copy buffer for the non-zero-copy fallback
+	// paths of View/Update (backends without direct byte access).
+	scratch []byte
 }
 
 // storeFlagHazard marks the index as hazard-protected.
@@ -293,6 +296,114 @@ func (s *Store) Get(key uint64, buf []byte) (int, error) {
 		}
 	}
 	return 0, ErrChainBroke
+}
+
+// View calls f with a zero-copy read view of key's value bytes — the
+// record's device words aliased directly, no Go-heap copy (paper §3.1:
+// data-plane reads are plain loads on the mapped memory). The view is
+// valid only inside f; f must not retain it, must not write through it,
+// and — like any optimistic lock-free read — may run more than once or
+// observe a value that a concurrent delete then invalidates, in which
+// case its result is discarded and the read retried. On hazard-protected
+// stores the whole view runs under a published hazard era. Backends
+// without direct byte access fall back to a copy into a reused scratch
+// buffer, same contract.
+func (s *Store) View(key uint64, f func(val []byte) error) error {
+	b := s.bucketOf(key)
+	if s.hazard {
+		s.c.EnterRead()
+		defer s.c.ExitRead()
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		rec := s.find(key, b)
+		if rec == 0 {
+			return ErrNotFound
+		}
+		l, err := s.c.AcquireLease(rec)
+		switch err {
+		case nil:
+		case shm.ErrNoDirectAccess:
+			return s.viewCopy(key, b, f)
+		case shm.ErrStaleReference:
+			continue // reclaimed between find and lease; retry the walk
+		default:
+			return err // ErrLeaseAliased: nested view of the same record
+		}
+		off := recValueWord * layout.WordBytes
+		ferr := f(l.Bytes()[off : off+s.valSize])
+		// Validate after, exactly like Get: still allocated, still this key.
+		ok := s.c.MetaOf(rec).Allocated() && s.c.LoadWord(rec, recKeyWord) == key
+		s.c.ReleaseLease(l)
+		if ok {
+			return ferr
+		}
+	}
+	return ErrChainBroke
+}
+
+// Update calls f with a mutable zero-copy view of key's value bytes and
+// applies whatever f writes in place — the §6.4 atomic in-place update
+// served through the data plane with no copy in either direction. The
+// caller must be the key's partition writer (enforced when leases are in
+// use); the single-writer rule is what makes the record stable under f,
+// so no validation or retry is needed. The view is valid only inside f.
+func (s *Store) Update(key uint64, f func(val []byte) error) error {
+	if err := s.checkOwner(key); err != nil {
+		return err
+	}
+	rec := s.find(key, s.bucketOf(key))
+	if rec == 0 {
+		return ErrNotFound
+	}
+	l, err := s.c.AcquireLease(rec)
+	switch err {
+	case nil:
+	case shm.ErrNoDirectAccess:
+		return s.updateCopy(rec, f)
+	default:
+		return err
+	}
+	defer s.c.ReleaseLease(l)
+	off := recValueWord * layout.WordBytes
+	return f(l.Bytes()[off : off+s.valSize])
+}
+
+// scratchBuf returns the store's reusable fallback copy buffer.
+func (s *Store) scratchBuf() []byte {
+	if s.scratch == nil {
+		s.scratch = make([]byte, s.valSize)
+	}
+	return s.scratch
+}
+
+// viewCopy is View's fallback when the backend cannot alias memory: copy
+// into the scratch buffer with Get's validate-after scheme, then call f.
+// The caller already holds the hazard era when one is needed.
+func (s *Store) viewCopy(key uint64, b int, f func(val []byte) error) error {
+	buf := s.scratchBuf()
+	for attempt := 0; attempt < 3; attempt++ {
+		rec := s.find(key, b)
+		if rec == 0 {
+			return ErrNotFound
+		}
+		s.c.ReadData(rec, recValueWord*layout.WordBytes, buf)
+		if s.c.MetaOf(rec).Allocated() && s.c.LoadWord(rec, recKeyWord) == key {
+			return f(buf)
+		}
+	}
+	return ErrChainBroke
+}
+
+// updateCopy is Update's fallback: read-modify-write through the scratch
+// buffer. The single-writer rule keeps rec stable, as in Update.
+func (s *Store) updateCopy(rec layout.Addr, f func(val []byte) error) error {
+	buf := s.scratchBuf()
+	s.c.ReadData(rec, recValueWord*layout.WordBytes, buf)
+	if err := f(buf); err != nil {
+		return err
+	}
+	s.c.WriteData(rec, recValueWord*layout.WordBytes, buf)
+	return nil
 }
 
 // Delete removes key. Unlinking is one embedded-reference change on the

@@ -46,7 +46,10 @@ const (
 //	4  quarantine markers (MetaQuarantined block flag, PageKindQuarantined)
 //	   written by the repairing fsck, plus repair counters growing the
 //	   telemetry metric slots
-const LayoutVersion = 4
+//	5  repacked redo-log entry (era and saved count fold into the commit
+//	   word; 5 words instead of 7) with deferred invalidation, plus
+//	   publication-burst counters/histogram growing the telemetry slots
+const LayoutVersion = 5
 
 // Superblock is the decoded pool header.
 type Superblock struct {

@@ -37,6 +37,8 @@ const (
 	CtrAllocNanos                // total ns spent in Malloc (timing-enabled clients only)
 	CtrFree                      // blocks reclaimed (refcount hit zero and freed)
 	CtrFreeHuge                  // huge objects returned to the segment pool
+	CtrPublishBatch              // deferred-metadata publication bursts
+	CtrPublishedFrees            // deferred frees published by bursts
 	CtrFlush                     // cache-line flushes on the allocation path
 	CtrFence                     // memory fences on the allocation path
 	CtrSegClaim                  // segments claimed via the global allocation vector CAS
@@ -79,6 +81,8 @@ var counterNames = [NumCounters]string{
 	CtrAllocNanos:     "alloc_nanos",
 	CtrFree:           "free_ops",
 	CtrFreeHuge:       "free_huge",
+	CtrPublishBatch:   "publish_bursts",
+	CtrPublishedFrees: "published_frees",
 	CtrFlush:          "flush_ops",
 	CtrFence:          "fence_ops",
 	CtrSegClaim:       "segment_claims",
@@ -125,6 +129,10 @@ const (
 	// HistDetectRecoverNS is the recovery-time SLO: first missed heartbeat
 	// (or fence, when no miss was observed) to RECOVERED published.
 	HistDetectRecoverNS
+	// HistPublishBatch is a size (not latency) histogram: deferred frees
+	// published per publication burst, showing how well free-path stores
+	// amortize.
+	HistPublishBatch
 	NumHistos // sentinel
 )
 
@@ -133,6 +141,7 @@ var histoNames = [NumHistos]string{
 	HistScanNS:          "segment_scan_ns",
 	HistRecoveryNS:      "recovery_ns",
 	HistDetectRecoverNS: "detect_to_recovered_ns",
+	HistPublishBatch:    "publish_batch_size",
 }
 
 // Name returns the histogram's stable export name.

@@ -164,6 +164,15 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 
 // replayRedo implements the §4.3 recovery decision. Returns whether a
 // ModifyRef replay (or change-completion) was needed.
+//
+// Redo entries are not cleared when their transaction closes (redo.go), so
+// the decision is era-gated first: every commit CAS is followed by an era
+// bump, which means an attach/release entry is in flight iff Era[cid][cid]
+// still equals the logged era, and a change entry (two bumps, then a
+// synchronous flag store) can need work only within two bumps of it. Acting
+// on an entry the client's era has moved past would replay a long-closed
+// transaction into possibly recycled words — the gate is what makes the
+// deferred invalidation safe.
 func (s *Service) replayRedo(cid int) bool {
 	p := s.pool
 	geo := p.Geometry()
@@ -176,15 +185,21 @@ func (s *Service) replayRedo(cid int) bool {
 
 	switch entry.Op {
 	case shm.OpAttach:
+		if eraII != entry.Era {
+			return false // transaction closed; entry is stale
+		}
 		if ok, cond := s.committed(entry.Refed, cid, entry.Era, eraII); ok {
 			dev.Store(entry.Ref, entry.Refed) // replay ModifyRef (idempotent)
 			s.traceReplay(cid, entry.Op, cond)
 			return true
 		}
 	case shm.OpRelease:
+		if eraII != entry.Era {
+			return false // closed: the inline reclaim (if any) completed too
+		}
 		// A release that hit zero may have been cut short anywhere in its
-		// inline reclaim; flag the segment unconditionally (sticky, checked
-		// by the scan) — never redo the non-idempotent free (§5.3).
+		// inline reclaim; flag the segment (sticky, checked by the scan) —
+		// never redo the non-idempotent free (§5.3).
 		if entry.SavedCnt == 1 {
 			if seg := geo.SegmentIndexOf(entry.Refed); seg >= 0 {
 				p.FlagSegmentLeaking(seg)
@@ -197,6 +212,27 @@ func (s *Service) replayRedo(cid int) bool {
 		}
 	case shm.OpChange:
 		return s.replayChange(cid, entry, eraII)
+	case shm.OpMove:
+		if eraII != entry.Era {
+			return false
+		}
+		// A move has no ModifyRefCnt phase, so there is no commit evidence to
+		// weigh: both of its stores are idempotent ModifyRefs, re-executed
+		// wholesale. But batched moves share one era (moveRef), so the era
+		// gate alone cannot reject an entry torn mid-logRedo: the stale commit
+		// word of the previous move in the batch is byte-identical to the new
+		// one, making a mix of old and new address words look valid. The
+		// device state disambiguates — a move with work left always has its
+		// source word still referencing the object (the source is cleared
+		// last), while any torn mix names a source the previous move already
+		// cleared, and a fully-executed move needs nothing replayed.
+		if dev.Load(entry.Refed2) != entry.Refed {
+			return false
+		}
+		dev.Store(entry.Ref, entry.Refed)
+		dev.Store(entry.Refed2, 0)
+		s.traceReplay(cid, entry.Op, 0)
+		return true
 	}
 	return false
 }
@@ -218,6 +254,13 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
+	// Beyond era+2 the transaction closed and the POTENTIAL_LEAKING flag for
+	// a zero-count A was already stored by the client (synchronously after
+	// the second bump, before any later transaction could overwrite the
+	// entry) — the entry is stale debris; touch nothing.
+	if eraII > e.Era+2 {
+		return false
+	}
 	// Phase 1's decrement may have dropped A to zero in any phase.
 	if e.SavedCnt == 1 {
 		if seg := geo.SegmentIndexOf(e.Refed); seg >= 0 {

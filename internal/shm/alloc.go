@@ -35,6 +35,7 @@ import (
 type blockSlot struct {
 	op       *ownedPage
 	addr     layout.Addr
+	fromPend bool        // true: tail of the page's pending (unpublished) frees
 	fromFree bool        // true: head of the page free list; false: bump region
 	next     layout.Addr // new free-list head or new bump pointer
 }
@@ -97,17 +98,33 @@ func (c *Client) malloc(dataBytes, embedRefs int) (layout.Addr, layout.Addr, err
 		embedRefs*layout.WordBytes > dataBytes {
 		return 0, 0, ErrBadEmbedIndex
 	}
-	root, err := c.allocRootRef()
+	// Step 1 (reordered, see allocRootRef): advance a RootRef page past one
+	// free slot without claiming it. Until the claim lands the slot is in the
+	// "lost slot" state the segment-local scan already re-links, so failing
+	// out (or crashing) anywhere below leaks nothing.
+	root, err := c.takeRootRefSlot()
 	if err != nil {
 		return 0, 0, err
 	}
 	ci := layout.ClassIndexFor(c.geo.Classes, dataBytes)
 	if ci < 0 {
+		// Huge objects keep the classic claim-first order: the multi-segment
+		// claim loop can fail midway, and a committed in_use slot is what the
+		// rollback/abort path expects to clear.
+		c.h.Store(root+layout.RootRefPptrOff, 0)
+		c.h.Store(root, layout.PackRootRef(true, 1))
+		c.inflightRoot = 0
+		c.noteRoot(root, 1, 0)
+		c.hit(faultinject.AfterRootRefClaim)
 		block, err := c.allocHuge(root, dataBytes, embedRefs)
 		if err != nil {
 			c.abortRootRef(root)
 			return 0, 0, err
 		}
+		// Huge blocks are not block-shadowed: any client frees them straight
+		// back to the segment vector, so there is no collection point at
+		// which a stale entry would be dropped.
+		c.noteRoot(root, 1, block)
 		return root, block, nil
 	}
 	slot, err := c.findBlock(ci)
@@ -116,19 +133,31 @@ func (c *Client) malloc(dataBytes, embedRefs int) (layout.Addr, layout.Addr, err
 		return 0, 0, err
 	}
 
-	// Step 2: link. The RootRef now points at a block that is still, from
-	// the page's perspective, free.
+	// Step 2: link. The slot (still unclaimed) now points at a block that is
+	// still, from the page's perspective, free.
 	c.h.Store(root+layout.RootRefPptrOff, slot.addr)
 	c.hit(faultinject.AfterLink)
 	c.timedFence()
+
+	// Claim the slot only after the link, so an in_use slot always carries a
+	// valid pptr — and before the block is advanced past / initialized, so a
+	// block with a published refcount always has its referencing slot
+	// committed (the reverse order could leak a RefCnt=1 block permanently).
+	// Folding the old pptr←0 store into the link saves one device store; the
+	// crash states recovery can now see (free slot with stale pptr, in_use
+	// slot over a still-free block) are ones the §5.1 sweep already resolves.
+	c.h.Store(root, layout.PackRootRef(true, 1))
+	c.inflightRoot = 0
+	c.noteRoot(root, 1, slot.addr)
+	c.hit(faultinject.AfterRootRefClaim)
+	c.timedFence()
+	c.timedFlush(root)
 
 	// Step 3: advance the free pointer. Must strictly follow the link (the
 	// paper's fence): advancing first could leak the block, linking first is
 	// recovered by the pptr==free-pointer check.
 	c.advanceSlot(slot)
 	c.hit(faultinject.AfterAdvance)
-	c.timedFence()
-	c.timedFlush(root)
 
 	// Step 4: initialize the block. Embedded reference words must be zero
 	// before the object becomes visible (recovery DFS walks them).
@@ -136,17 +165,20 @@ func (c *Client) malloc(dataBytes, embedRefs int) (layout.Addr, layout.Addr, err
 		c.h.Store(slot.addr+layout.DataOff+layout.Addr(i), 0)
 	}
 	cls := c.geo.Classes[ci]
-	c.h.Store(slot.addr+layout.MetaOff, layout.PackMeta(layout.Meta{
+	metaW := layout.PackMeta(layout.Meta{
 		Flags:      layout.MetaAllocated,
 		EmbedCnt:   uint16(embedRefs),
 		BlockWords: cls.BlockWords,
-	}))
+	})
+	c.h.Store(slot.addr+layout.MetaOff, metaW)
 	c.hit(faultinject.AfterBlockMeta)
-	c.h.Store(slot.addr+layout.HeaderOff, layout.PackHeader(layout.Header{
+	headerW := layout.PackHeader(layout.Header{
 		LCID:   uint16(c.cid),
 		LEra:   c.era,
 		RefCnt: 1,
-	}))
+	})
+	c.h.Store(slot.addr+layout.HeaderOff, headerW)
+	c.noteBlock(slot.addr, headerW, metaW)
 	c.hit(faultinject.AfterHeaderInit)
 	// Publishing a header at the current era is a commit-like event: bump so
 	// every published (cid, era) pair stays unique (recovery Conditions 1/2
@@ -181,10 +213,15 @@ func (c *Client) findBlock(ci int) (blockSlot, error) {
 	}
 }
 
-// tryPage reserves a block in op's page: first from the page free list, then
-// from the never-allocated bump region. The only device access is reading the
-// free block's next pointer — the page meta comes from the shadow.
+// tryPage reserves a block in op's page: first from the pending (unpublished)
+// frees — zero device accesses, and the free/realloc pair never publishes —
+// then from the page free list, then from the never-allocated bump region.
+// The only device access is reading a published free block's next pointer —
+// the page meta comes from the shadow.
 func (c *Client) tryPage(op *ownedPage, ci int) (blockSlot, bool) {
+	if n := len(op.pend); n > 0 {
+		return blockSlot{op: op, addr: op.pend[n-1], fromPend: true}, true
+	}
 	if head := op.free; head != 0 {
 		return blockSlot{
 			op:       op,
@@ -202,20 +239,23 @@ func (c *Client) tryPage(op *ownedPage, ci int) (blockSlot, bool) {
 }
 
 // advanceSlot performs the §5.1 step 3: move the page free pointer past the
-// reserved block, and bump the page's used count (write-through).
+// reserved block. A pend-tier block needs no device store at all — it was
+// never re-published, so popping it is pure shadow bookkeeping. The Used
+// counter bump is deferred to the next publication burst in every case.
 func (c *Client) advanceSlot(s blockSlot) {
 	op := s.op
-	if s.fromFree {
+	switch {
+	case s.fromPend:
+		op.pend = op.pend[:len(op.pend)-1]
+		c.pendCount--
+	case s.fromFree:
 		op.free = s.next
 		c.h.Store(op.meta+pmFree, s.next)
-	} else {
+	default:
 		op.scan = s.next
 		c.h.Store(op.meta+pmScan, s.next)
 	}
-	info := layout.UnpackPageMeta(op.info)
-	info.Used++
-	op.info = layout.PackPageMeta(info)
-	c.h.Store(op.meta+pmInfo, op.info)
+	c.noteUsedDelta(op, 1)
 }
 
 // dfBatch groups one page's drained deferred frees during a collect pass.
@@ -255,6 +295,7 @@ func (c *Client) collectDeferredFrees(ci int) bool {
 		batches = batches[:0]
 		for head != 0 {
 			next := c.h.Load(head + freeNextOff)
+			c.dropBlock(head) // another client freed it; retire the stale shadow
 			if op := c.ownedPageOf(os.seg, head); op != nil {
 				i := 0
 				for ; i < len(batches); i++ {
@@ -285,15 +326,11 @@ func (c *Client) collectDeferredFrees(ci int) bool {
 			}
 			op.free = b.blocks[0]
 			c.h.Store(op.meta+pmFree, op.free)
+			// The list must be published here (the freeers are other clients:
+			// only the head store makes their frees reachable again), but the
+			// Used bookkeeping joins the deferred-publication burst.
+			c.noteUsedDelta(op, -int32(len(b.blocks)))
 			info := layout.UnpackPageMeta(op.info)
-			n := uint32(len(b.blocks))
-			if info.Used > n {
-				info.Used -= n
-			} else {
-				info.Used = 0
-			}
-			op.info = layout.PackPageMeta(info)
-			c.h.Store(op.meta+pmInfo, op.info)
 			if info.Kind == layout.PageKindNormal {
 				c.readdClassPage(int(info.SizeClass), op)
 				if int(info.SizeClass) == ci {
@@ -319,7 +356,10 @@ func (c *Client) readdClassPage(ci int, op *ownedPage) {
 // new segment if needed) and dedicates it to kind/class. Being the slow
 // path, it also runs the paper's periodic duty (§5.3): scan any owned
 // segment left in POTENTIAL_LEAKING state by an interrupted reclamation.
+// It is also a publication epoch — needing a fresh page means the caches
+// ran dry, a natural moment to land the deferred frees and counters.
 func (c *Client) claimPage(kind uint8, ci int) (*ownedPage, error) {
+	c.flushPending(EpochRefill)
 	c.scanFlaggedOwned()
 	for _, os := range c.owned {
 		if op, ok := c.claimPageIn(os, kind, ci); ok {
@@ -425,42 +465,50 @@ func (c *Client) tryClaimSegment(i int) (*ownedSeg, bool) {
 
 // --- RootRef slots ---
 
-// allocRootRef claims one 2-word RootRef slot from a RootRef-only page.
-// Unlike data blocks, the advance happens before the claim: a slot's
-// liveness marker is its own in_use bit, so the crash window leaves either a
-// lost free slot (re-found by the segment-local scan) or an in_use slot with
-// pptr==0 (freed by recovery).
-func (c *Client) allocRootRef() (layout.Addr, error) {
+// takeRootRefSlot advances a RootRef page past one free slot WITHOUT
+// claiming it: word0 is left untouched. Until a later in_use store commits
+// the slot, a crash leaves it in the lost-slot state (below the bump
+// pointer, on no list, not in_use) that the segment-local scan already
+// re-links once this client is dead — so callers may interleave arbitrary
+// work between take and claim.
+//
+// The slot comes from the pending tier first (a slot this client freed but
+// never re-published: zero device accesses), then the published free list
+// (one load + one head store), then the bump region (one store). The page
+// Used counter joins the next publication burst in every case.
+func (c *Client) takeRootRefSlot() (layout.Addr, error) {
 	for {
 		for len(c.rootPages) > 0 {
 			op := c.rootPages[len(c.rootPages)-1]
-			var slot layout.Addr
+			if n := len(op.pend); n > 0 {
+				slot := op.pend[n-1]
+				op.pend = op.pend[:n-1]
+				c.pendCount--
+				c.noteUsedDelta(op, 1)
+				c.inflightRoot = slot
+				c.hit(faultinject.AfterRootRefAdvance)
+				return slot, nil
+			}
 			if head := op.free; head != 0 {
-				slot = head
 				op.free = c.h.Load(head + layout.RootRefPptrOff)
 				c.h.Store(op.meta+pmFree, op.free)
-			} else {
-				end := c.geo.PageBase(op.pr.seg, op.pr.page) + layout.Addr(c.geo.PageWords)
-				if op.scan+layout.RootRefWords > end {
-					op.onClassList = false
-					c.rootPages = c.rootPages[:len(c.rootPages)-1]
-					continue
-				}
-				slot = op.scan
+				c.noteUsedDelta(op, 1)
+				c.inflightRoot = head
+				c.hit(faultinject.AfterRootRefAdvance)
+				return head, nil
+			}
+			end := c.geo.PageBase(op.pr.seg, op.pr.page) + layout.Addr(c.geo.PageWords)
+			if op.scan+layout.RootRefWords <= end {
+				slot := op.scan
 				op.scan += layout.RootRefWords
 				c.h.Store(op.meta+pmScan, op.scan)
+				c.noteUsedDelta(op, 1)
+				c.inflightRoot = slot
+				c.hit(faultinject.AfterRootRefAdvance)
+				return slot, nil
 			}
-			c.hit(faultinject.AfterRootRefAdvance)
-			// pptr must be zeroed before in_use is set: recovery treats any
-			// in_use slot's pptr as a live reference.
-			c.h.Store(slot+layout.RootRefPptrOff, 0)
-			c.h.Store(slot, layout.PackRootRef(true, 1))
-			c.hit(faultinject.AfterRootRefClaim)
-			info := layout.UnpackPageMeta(op.info)
-			info.Used++
-			op.info = layout.PackPageMeta(info)
-			c.h.Store(op.meta+pmInfo, op.info)
-			return slot, nil
+			op.onClassList = false
+			c.rootPages = c.rootPages[:len(c.rootPages)-1]
 		}
 		op, err := c.claimPage(layout.PageKindRootRef, 0)
 		if err != nil {
@@ -471,19 +519,42 @@ func (c *Client) allocRootRef() (layout.Addr, error) {
 	}
 }
 
+// allocRootRef claims one 2-word RootRef slot from a RootRef-only page, the
+// classic §5.1 order: advance, zero pptr, set in_use. Used by the paths that
+// need a committed (sweep-visible) slot before any further work — AttachRoot,
+// queue receive, the huge-object branch. Malloc's small path instead takes
+// the slot unclaimed and defers the in_use store past the link.
+func (c *Client) allocRootRef() (layout.Addr, error) {
+	slot, err := c.takeRootRefSlot()
+	if err != nil {
+		return 0, err
+	}
+	// pptr must be zeroed before in_use is set: recovery treats any
+	// in_use slot's pptr as a live reference.
+	c.h.Store(slot+layout.RootRefPptrOff, 0)
+	c.h.Store(slot, layout.PackRootRef(true, 1))
+	c.inflightRoot = 0
+	c.noteRoot(slot, 1, 0)
+	c.hit(faultinject.AfterRootRefClaim)
+	return slot, nil
+}
+
 // abortRootRef returns a just-claimed, never-linked RootRef slot (block
 // allocation failed after the claim).
 func (c *Client) abortRootRef(slot layout.Addr) {
 	c.freeRootRefSlot(slot)
 }
 
-// freeRootRefSlot clears a RootRef and pushes it back to its page free list
+// freeRootRefSlot clears a RootRef and parks it on its page's pending list
 // (owner-local; RootRefs always live in their creator's pages). Ownership is
-// decided by the shadow index — no device load — and a page that had been
-// dropped from the RootRef cache while full is re-added, so freed slots are
-// always reusable (the old membership-less cache forgot such pages and could
-// exhaust the pool while free slots existed).
+// decided by the shadow index — no device load — and the single device store
+// (word0 ← 0) puts the slot in exactly the lost-slot state the segment scan
+// re-links if this client dies before its next publication burst.
 func (c *Client) freeRootRefSlot(slot layout.Addr) {
+	if slot == c.inflightRoot {
+		c.inflightRoot = 0
+	}
+	c.dropRoot(slot)
 	c.h.Store(slot, 0)
 	c.hit(faultinject.AfterRootRefClear)
 	seg := c.geo.SegmentIndexOf(slot)
@@ -494,19 +565,7 @@ func (c *Client) freeRootRefSlot(slot layout.Addr) {
 		// scan reclaims the page wholesale.
 		return
 	}
-	c.h.Store(slot+layout.RootRefPptrOff, op.free)
-	op.free = slot
-	c.h.Store(op.meta+pmFree, slot)
-	info := layout.UnpackPageMeta(op.info)
-	if info.Used > 0 {
-		info.Used--
-	}
-	op.info = layout.PackPageMeta(info)
-	c.h.Store(op.meta+pmInfo, op.info)
-	if !op.onClassList {
-		op.onClassList = true
-		c.rootPages = append(c.rootPages, op)
-	}
+	c.deferFree(op, slot)
 }
 
 // --- huge objects ---

@@ -44,6 +44,33 @@ type Client struct {
 	// (queue.go); device words stay authoritative, rebuilt on reconnect.
 	queues map[layout.Addr]*queueShadow
 
+	// pendPages lists owned pages carrying deferred (unpublished) frees or
+	// Used-counter deltas; pendCount totals the unpublished frees across
+	// them (bounded by pendCap, shadow.go).
+	pendPages []*ownedPage
+	pendCount int
+	// inflightRoot is the RootRef slot taken by the current malloc but not
+	// yet claimed in_use (alloc.go). The window spans findBlock, which can
+	// scan this client's own segments — the scan must count the slot live,
+	// not re-link it as lost (scan.go).
+	inflightRoot layout.Addr
+	// roots/blocks shadow this client's RootRef slots and allocated blocks,
+	// eliding the free path's device loads (refcache.go).
+	roots  map[layout.Addr]*rootShadow
+	blocks map[layout.Addr]*blockShadow
+
+	// leases tracks this client's live byte leases by block, enforcing the
+	// no-aliasing rule; leasePool recycles Lease wrappers so the steady-state
+	// acquire/release cycle allocates nothing (lease.go).
+	leases    map[layout.Addr]*Lease
+	leasePool []*Lease
+
+	// epochTrigger/epochSeq record the most recent publication epoch
+	// (shadow.go): what fired it and how many have run. Diagnostics only —
+	// the crash sweep names the trigger in its repro lines.
+	epochTrigger string
+	epochSeq     uint64
+
 	// fi is the crash injector (nil in production).
 	fi *faultinject.Injector
 
@@ -111,6 +138,9 @@ func (p *Pool) Connect() (*Client, error) {
 		classPages: make([][]*ownedPage, len(geo.Classes)),
 		ownedBySeg: make(map[int]*ownedSeg),
 		queues:     make(map[layout.Addr]*queueShadow),
+		roots:      make(map[layout.Addr]*rootShadow),
+		blocks:     make(map[layout.Addr]*blockShadow),
+		leases:     make(map[layout.Addr]*Lease),
 		mx:         p.obs.Shard(cid),
 	}
 	// Stripe claim-scan start positions by client ID so concurrent claimers
@@ -203,6 +233,10 @@ func (c *Client) publishMetrics() {
 // every process sees fresh, and a client that stops beating leaves behind
 // a vector at most one heartbeat old.
 func (c *Client) Heartbeat() {
+	// Heartbeats are also a publication epoch: deferred frees and page
+	// counters land on the device at the same "I'm alive" cadence, so the
+	// pool image other processes see is at most one heartbeat stale.
+	c.flushPending(EpochHeartbeat)
 	a := c.geo.ClientHeartbeatAddr(c.cid)
 	c.h.Store(a, c.h.Load(a)+1)
 	c.publishMetrics()
@@ -236,6 +270,10 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	// Publish deferred frees before the fence: after MarkClientDeadReason
+	// the device drops this client's stores, and the pending blocks would
+	// have to wait for a segment scan to be re-linked.
+	c.flushPending(EpochDetach)
 	c.publishMetrics()
 	c.publishShared()
 	return c.pool.MarkClientDeadReason(c.cid, obs.FenceClose)

@@ -22,21 +22,30 @@ import (
 //
 // Both conditions rely on every published (cid, era) pair being unique to a
 // single commit, which is why allocation's header init and every commit CAS
-// are followed by an era bump, and why the redo entry is cleared immediately
-// after the bump.
+// are followed by an era bump. The redo entry is NOT cleared when the
+// transaction closes: the closing bump advances Era[cid][cid] past the
+// entry's logged era, and recovery treats an entry whose era the client has
+// moved past as closed (redo.go) — saving one device store per transaction.
 
 // AttachReference attaches the reference at ref to the object at refed:
 // refed.ref_cnt++ then *ref = refed (Figure 4(c) verbatim). ref must be a
 // reference word owned (written) solely by this client: a RootRef pptr, an
 // owned queue slot, or an embedded reference under the single-writer rule.
 func (c *Client) AttachReference(ref, refed layout.Addr) error {
+	// The first CAS attempt is seeded from the block shadow when this client
+	// allocated refed (refcache.go): a stale guess cannot commit (the commit
+	// is a full-word compare) and simply falls back to a device load.
+	savedW, guessed := c.guessHeader(refed)
 	for {
-		savedW := c.h.Load(refed + layout.HeaderOff)
 		saved := layout.UnpackHeader(savedW)
-		if saved.RefCnt == 0 {
-			return ErrStaleReference
-		}
-		if saved.RefCnt == layout.MaxRefCount {
+		if saved.RefCnt == 0 || saved.RefCnt == layout.MaxRefCount {
+			if guessed {
+				savedW, guessed = c.h.Load(refed+layout.HeaderOff), false
+				continue
+			}
+			if saved.RefCnt == 0 {
+				return ErrStaleReference
+			}
 			return ErrRefCountOverflow
 		}
 		c.observeEra(saved.LCID, saved.LEra) // lines 4-6
@@ -49,19 +58,21 @@ func (c *Client) AttachReference(ref, refed layout.Addr) error {
 		})
 		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
+			c.noteHeader(refed, newW)
 			break
 		}
 		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return ErrFenced
 		}
+		savedW, guessed = c.h.Load(refed+layout.HeaderOff), false
 	}
 	c.hit(faultinject.AfterCommitCAS)
 	c.h.Store(ref, refed) // ModifyRef
+	c.noteRootTarget(ref, refed)
 	c.hit(faultinject.AfterModifyRef)
-	c.bumpEra()
+	c.bumpEra() // closes the transaction; the redo entry is now stale by era
 	c.hit(faultinject.AfterEraBump)
-	c.clearRedo()
 	return nil
 }
 
@@ -89,24 +100,29 @@ func (c *Client) ReleaseReference(ref, refed layout.Addr) (freed bool, err error
 // the reclaim needs further transactions, so this transaction flags the
 // segment itself before closing and the caller runs the cascade afterwards.
 func (c *Client) releaseTxn(ref, refed layout.Addr) (newCnt uint16, pendingReclaim bool, err error) {
-	return c.releaseTxnMode(ref, refed, false)
+	return c.releaseTxnMode(ref, refed, false, false)
 }
 
 // releaseRetire is releaseTxn with deferred reclamation: a zero count flags
 // the segment and reports pending, but nothing is freed (hazard.go parks
 // the node instead).
 func (c *Client) releaseRetire(ref, refed layout.Addr) (newCnt uint16, pendingReclaim bool, err error) {
-	return c.releaseTxnMode(ref, refed, true)
+	return c.releaseTxnMode(ref, refed, true, false)
 }
 
-func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim bool) (newCnt uint16, pendingReclaim bool, err error) {
+func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim, elideModify bool) (newCnt uint16, pendingReclaim bool, err error) {
 	if c.h.Fenced() {
 		return 0, false, ErrFenced
 	}
+	// First CAS attempt seeded from the block shadow (see AttachReference).
+	savedW, guessed := c.guessHeader(refed)
 	for {
-		savedW := c.h.Load(refed + layout.HeaderOff)
 		saved := layout.UnpackHeader(savedW)
 		if saved.RefCnt == 0 {
+			if guessed {
+				savedW, guessed = c.h.Load(refed+layout.HeaderOff), false
+				continue
+			}
 			return 0, false, ErrStaleReference
 		}
 		c.observeEra(saved.LCID, saved.LEra)
@@ -120,42 +136,106 @@ func (c *Client) releaseTxnMode(ref, refed layout.Addr, deferReclaim bool) (newC
 		})
 		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(refed+layout.HeaderOff, savedW, newW) {
+			c.noteHeader(refed, newW)
 			break
 		}
 		c.loc[obs.CtrCASRetry]++
 		if c.h.Fenced() {
 			return 0, false, ErrFenced
 		}
+		savedW, guessed = c.h.Load(refed+layout.HeaderOff), false
 	}
 	c.hit(faultinject.AfterCommitCAS)
-	c.h.Store(ref, 0) // ModifyRef
-	c.hit(faultinject.AfterModifyRef)
-	if newCnt == 0 {
-		c.hit(faultinject.BeforeReclaim)
-		m := layout.UnpackMeta(c.h.Load(refed + layout.MetaOff))
-		switch {
-		case deferReclaim:
-			// Hazard-era retire: flag for the scan (covers our death) and
-			// let the caller park the node; nothing is freed yet.
-			c.flagSegmentLeaking(refed)
-			pendingReclaim = true
-		case m.EmbedCnt == 0:
-			// Plain object: reclaim inside the transaction window. A crash
-			// here is covered by the still-valid redo entry (recovery flags
-			// the segment, §5.3).
-			c.reclaimRaw(refed, m)
-		default:
-			// Embed-carrying object: the cascade needs its own transactions,
-			// so flag the segment before this transaction closes; the caller
-			// must run the cascade once we return.
-			c.flagSegmentLeaking(refed)
-			pendingReclaim = true
-		}
+	if newCnt != 0 {
+		c.h.Store(ref, 0) // ModifyRef
+		c.noteRootTarget(ref, 0)
+		c.hit(faultinject.AfterModifyRef)
+		c.bumpEra() // closes the transaction; the redo entry is now stale by era
+		c.hit(faultinject.AfterEraBump)
+		return newCnt, false, nil
 	}
-	c.bumpEra()
+	m := c.metaOf(refed)
+	// ModifyRef elision (ReleaseRoot only): when the count hit zero, the
+	// reference is a RootRef pptr the caller is about to free, and the block
+	// reclaims into the owner's pending tier, the pptr store is dead — the
+	// slot's word0←0 store makes it unreachable, and the publication burst
+	// reuses the word as the free-chain next. Crash-wise nothing is new: a
+	// crash before the slot clear leaves an in_use slot over a refcount-zero
+	// block, which SweepRootRefSlot already resolves by clearing the slot,
+	// and recovery's redo replay performs the elided store itself.
+	elide := elideModify && !deferReclaim && m.EmbedCnt == 0 && m.Flags&layout.MetaHuge == 0
+	if elide {
+		seg := c.geo.SegmentIndexOf(refed)
+		elide = seg >= 0 && c.ownedPageOf(seg, refed) != nil
+	}
+	if !elide {
+		c.h.Store(ref, 0) // ModifyRef
+		c.noteRootTarget(ref, 0)
+	}
+	c.hit(faultinject.AfterModifyRef)
+	c.hit(faultinject.BeforeReclaim)
+	switch {
+	case deferReclaim:
+		// Hazard-era retire: flag for the scan (covers our death) and
+		// let the caller park the node; nothing is freed yet.
+		c.flagSegmentLeaking(refed)
+		pendingReclaim = true
+	case m.EmbedCnt == 0:
+		// Plain object: reclaim inside the transaction window. A crash
+		// here is covered by the still-valid redo entry (recovery flags
+		// the segment, §5.3).
+		c.reclaimRaw(refed, m)
+	default:
+		// Embed-carrying object: the cascade needs its own transactions,
+		// so flag the segment before this transaction closes; the caller
+		// must run the cascade once we return.
+		c.flagSegmentLeaking(refed)
+		pendingReclaim = true
+	}
+	c.bumpEra() // closes the transaction; the redo entry is now stale by era
 	c.hit(faultinject.AfterEraBump)
-	c.clearRedo()
 	return newCnt, pendingReclaim, nil
+}
+
+// moveRef transfers the counted reference held by the reference word at src
+// to the reference word at dst: *dst = target, then *src = NULL, with
+// target's reference count untouched — the count keeps counting the same one
+// reference throughout. This fuses the attach+release pair of a queue
+// receive into a single transaction with no ModifyRefCnt phase at all: no
+// header load, no CAS, no saved count. Both stores are idempotent ModifyRefs,
+// so recovery simply re-executes the whole move from the redo entry while
+// the era gate holds (Era[cid][cid] still at the logged era).
+//
+// Liveness of target needs no header check: the caller owns the reference at
+// src, and a word-owned reference keeps the count above zero until its owner
+// clears it — exactly what this transaction does last.
+//
+// Because a move never publishes (cid, era) into any header, it does not
+// consume era uniqueness: a caller batching moves may run several under one
+// era and bump once at the end (closeTxn=false). The redo area then holds
+// only the latest move, which is the only one that can be mid-flight — each
+// earlier move completed both stores before the next was logged.
+//
+// The fault points keep the queue-sweep names: AfterReceiveAttach is the
+// window where dst and src both reference target (count 1, two words — the
+// replay re-executing both stores collapses it), AfterReceiveRelease where
+// the move is done but not closed.
+func (c *Client) moveRef(dst, src, target layout.Addr, closeTxn bool) error {
+	if c.h.Fenced() {
+		return ErrFenced
+	}
+	c.logRedo(RedoEntry{Op: OpMove, Era: c.era, Ref: dst, Refed: target, Refed2: src})
+	c.hit(faultinject.AfterRedoLog)
+	c.h.Store(dst, target) // ModifyRef (destination)
+	c.noteRootTarget(dst, target)
+	c.hit(faultinject.AfterReceiveAttach)
+	c.h.Store(src, 0) // ModifyRef (source)
+	c.hit(faultinject.AfterReceiveRelease)
+	if closeTxn {
+		c.bumpEra()
+		c.hit(faultinject.AfterEraBump)
+	}
+	return nil
 }
 
 // ChangeReference atomically re-points the embedded reference at ref from
@@ -196,6 +276,7 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 		})
 		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(a+layout.HeaderOff, savedW, newW) {
+			c.noteHeader(a, newW)
 			break
 		}
 		c.loc[obs.CtrCASRetry]++
@@ -224,6 +305,7 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 		})
 		c.loc[obs.CtrCASAttempt]++
 		if c.h.CAS(b+layout.HeaderOff, savedW, newW) {
+			c.noteHeader(b, newW)
 			break
 		}
 		c.loc[obs.CtrCASRetry]++
@@ -233,15 +315,15 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 	}
 	c.hit(faultinject.AfterChangeIncCAS)
 	c.h.Store(ref, b) // ModifyRef
+	c.noteRootTarget(ref, b)
 	c.hit(faultinject.AfterChangeModify)
 	c.bumpEra()
 	if newCntA == 0 {
-		// Flag before invalidating the entry: once the entry is gone the
-		// scan flag is the only thing pointing at the pending reclaim.
+		// Flag synchronously after the second bump: recovery era-gates a
+		// change entry's flag replay to within two bumps of the logged era,
+		// so by the time a later transaction could overwrite this entry the
+		// flag must already be on the device.
 		c.flagSegmentLeaking(a)
-	}
-	c.clearRedo()
-	if newCntA == 0 {
 		if deferReclaim {
 			c.park(a)
 		} else {
@@ -253,8 +335,14 @@ func (c *Client) changeTxn(ref, a, b layout.Addr, deferReclaim bool) error {
 
 // CloneRoot increments a RootRef's thread-local count (cloning a CXLRef in
 // the same thread, §5.2): no atomic instruction, no flush, no era
-// transaction — the slot is single-writer.
+// transaction — the slot is single-writer, so the shadow (when present)
+// supplies the current count without a device load.
 func (c *Client) CloneRoot(root layout.Addr) {
+	if rs := c.roots[root]; rs != nil {
+		rs.cnt++
+		c.h.Store(root, layout.PackRootRef(true, rs.cnt))
+		return
+	}
 	inUse, cnt := layout.UnpackRootRef(c.h.Load(root))
 	if !inUse {
 		panic("shm: CloneRoot on a free RootRef slot")
@@ -265,22 +353,46 @@ func (c *Client) CloneRoot(root layout.Addr) {
 // ReleaseRoot decrements a RootRef's thread-local count; when it reaches
 // zero the RootRef's counted reference on the object is released via the
 // era transaction and the slot is freed. Reports whether the underlying
-// object was freed.
+// object was freed. The count and target come from the root shadow when
+// this client claimed the slot (the common case — RootRefs are
+// owner-local), falling back to device loads for slots inherited from a
+// previous incarnation.
 func (c *Client) ReleaseRoot(root layout.Addr) (objectFreed bool, err error) {
-	inUse, cnt := layout.UnpackRootRef(c.h.Load(root))
-	if !inUse || cnt == 0 {
+	rs := c.roots[root]
+	var cnt uint32
+	var target layout.Addr
+	if rs != nil {
+		cnt, target = rs.cnt, rs.target
+	} else {
+		inUse, dcnt := layout.UnpackRootRef(c.h.Load(root))
+		if !inUse {
+			return false, ErrStaleReference
+		}
+		cnt, target = dcnt, c.h.Load(root+layout.RootRefPptrOff)
+	}
+	if cnt == 0 {
 		return false, ErrStaleReference
 	}
 	if cnt > 1 {
-		c.h.Store(root, layout.PackRootRef(true, cnt-1))
+		cnt--
+		c.h.Store(root, layout.PackRootRef(true, cnt))
+		if rs != nil {
+			rs.cnt = cnt
+		}
 		return false, nil
 	}
-	target := c.h.Load(root + layout.RootRefPptrOff)
 	if target != 0 {
-		objectFreed, err = c.ReleaseReference(root+layout.RootRefPptrOff, target)
-		if err != nil {
-			return false, err
+		// The pptr store of the release is elided when the block reclaims
+		// into the pending tier (releaseTxnMode): the slot clear right below
+		// makes the word unreachable before anything can read it.
+		newCnt, pending, rerr := c.releaseTxnMode(root+layout.RootRefPptrOff, target, false, true)
+		if rerr != nil {
+			return false, rerr
 		}
+		if pending {
+			c.reclaim(target)
+		}
+		objectFreed = newCnt == 0
 	}
 	c.freeRootRefSlot(root)
 	return objectFreed, nil
@@ -301,8 +413,12 @@ func (c *Client) AttachRoot(block layout.Addr) (root layout.Addr, err error) {
 	return root, nil
 }
 
-// RootTarget reads the object address a RootRef points to.
+// RootTarget reads the object address a RootRef points to (shadowed for
+// slots this client claimed).
 func (c *Client) RootTarget(root layout.Addr) layout.Addr {
+	if rs := c.roots[root]; rs != nil {
+		return rs.target
+	}
 	return c.h.Load(root + layout.RootRefPptrOff)
 }
 

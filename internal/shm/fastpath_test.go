@@ -12,10 +12,12 @@ import (
 // Access-budget regression tests: the fast-path overhaul's gains are counted
 // in device words touched per operation, so they are pinned here as budgets.
 // The budgets carry a little slack over the measured steady state (malloc
-// ≈10.1, free 22, send+receive+release 57 at the time of writing) to absorb
-// incidental slow-path amortization, but sit far below the pre-shadow costs
-// (malloc ≈16, free 31, trio 75) — a regression that reintroduces per-op
-// metadata loads trips them immediately.
+// ≈7.2, free ≈10, send+receive+release 34, batched trio ≈23 at the time of
+// writing — after deferred publication, the reference shadow caches, and the
+// CAS-free receive move) to absorb incidental slow-path amortization, but
+// sit far below the previous generation's costs (malloc ≈10.1, free 22,
+// trio 57) — a regression that reintroduces per-op metadata traffic trips
+// them immediately.
 
 func newCountingPool(t *testing.T) *shm.Pool {
 	t.Helper()
@@ -78,14 +80,14 @@ func TestDeviceAccessBudget(t *testing.T) {
 			}
 		}
 	})
-	if mallocCost > 12 {
-		t.Errorf("malloc touches %.2f device words/op, budget 12", mallocCost)
+	if mallocCost > 10 {
+		t.Errorf("malloc touches %.2f device words/op, budget 10", mallocCost)
 	}
-	if freeCost > 24 {
-		t.Errorf("free touches %.2f device words/op, budget 24", freeCost)
+	if freeCost > 12 {
+		t.Errorf("free touches %.2f device words/op, budget 12", freeCost)
 	}
-	if pair := mallocCost + freeCost; pair > 36 {
-		t.Errorf("malloc+free pair touches %.2f device words, budget 36", pair)
+	if pair := mallocCost + freeCost; pair > 20 {
+		t.Errorf("malloc+free pair touches %.2f device words, budget 20", pair)
 	}
 
 	snd := connect(t, p)
@@ -115,8 +117,36 @@ func TestDeviceAccessBudget(t *testing.T) {
 			}
 		}
 	})
-	if trioCost > 62 {
-		t.Errorf("send+receive+release touches %.2f device words, budget 62", trioCost)
+	if trioCost > 38 {
+		t.Errorf("send+receive+release touches %.2f device words, budget 38", trioCost)
+	}
+
+	// Batched trio (same shape as the benchmark's batch row): SendBatch and
+	// ReceiveBatch amortize the tail/head stores across the batch, and the
+	// batch's receive moves all close under one era bump.
+	const batch = 40 // queue capacity is 64
+	targets := make([]layout.Addr, batch)
+	for i := range targets {
+		targets[i] = obj
+	}
+	batchCost := perOp(func() {
+		for i := 0; i < n/batch; i++ {
+			if sent, err := snd.SendBatch(q, targets); err != nil || sent != batch {
+				t.Fatalf("SendBatch: sent %d, err %v", sent, err)
+			}
+			broots, _, err := rcv.ReceiveBatch(q, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range broots {
+				if _, err := rcv.ReleaseRoot(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}) * float64(n) / float64(n/batch*batch) // perOp divides by n; renormalize to items
+	if batchCost > 27 {
+		t.Errorf("batched trio touches %.2f device words/item, budget 27", batchCost)
 	}
 }
 

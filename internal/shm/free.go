@@ -107,14 +107,17 @@ func (c *Client) cascadeFree(start layout.Addr) {
 // reclaimRaw frees one block whose reference count is zero and whose
 // embedded references (if any) have been released. It marks the block free
 // — recording the freeing client's ID in the meta word's embed field — and
-// pushes it to the page free list (owner) or the segment's client_free list
-// (cross-client deferred free, paper Figure 3).
+// then either parks it on the owner's pending list (owner-local free:
+// publication to the page free list is deferred to the next epoch burst,
+// shadow.go) or pushes it onto the segment's client_free list (cross-client
+// deferred free, paper Figure 3).
 //
-// Order matters: header zero, meta free-mark, then push. A crash between
-// mark and push leaves a "lost" free block; the segment-local scan re-pushes
-// it only once the recorded freeer is dead — at which point the freeer is
-// RAS-fenced, so its own late push can never land and double-insert the
-// block.
+// Order matters: header zero, then meta free-mark. After the free-mark the
+// block is in the "lost" state — free-marked, on no list — which is exactly
+// what the owner-local deferral relies on: if the freeer crashes before its
+// publication burst, the segment-local scan re-links the block once the
+// recorded freeer is dead — at which point the freeer is RAS-fenced, so its
+// own late publication can never land and double-insert the block.
 // The caller passes the block's unpacked meta (it always has it in hand from
 // the release transaction), saving the re-load here.
 func (c *Client) reclaimRaw(block layout.Addr, m layout.Meta) {
@@ -127,6 +130,7 @@ func (c *Client) reclaimRaw(block layout.Addr, m layout.Meta) {
 		return
 	}
 	c.loc[obs.CtrFree]++
+	c.dropBlock(block)
 	c.h.Store(block+layout.HeaderOff, 0)
 	c.h.Store(block+layout.MetaOff, layout.PackMeta(layout.Meta{
 		Flags: 0, EmbedCnt: uint16(c.cid), BlockWords: m.BlockWords,
@@ -134,20 +138,10 @@ func (c *Client) reclaimRaw(block layout.Addr, m layout.Meta) {
 	c.hit(faultinject.AfterMetaFree)
 
 	if op := c.ownedPageOf(seg, block); op != nil {
-		// Owner-local free: ownership and all page words come from the
-		// shadow (shadow.go), written through at the same points as before.
-		c.h.Store(block+freeNextOff, op.free)
-		op.free = block
-		c.h.Store(op.meta+pmFree, block)
-		info := layout.UnpackPageMeta(op.info)
-		if info.Used > 0 {
-			info.Used--
-		}
-		op.info = layout.PackPageMeta(info)
-		c.h.Store(op.meta+pmInfo, op.info)
-		if info.Kind == layout.PageKindNormal {
-			c.readdClassPage(int(info.SizeClass), op)
-		}
+		// Owner-local free: two device stores total. The list/counter
+		// publication is deferred (shadow.go) — and skipped entirely if a
+		// malloc reuses the block from the pending tier first.
+		c.deferFree(op, block)
 	} else {
 		// Cross-client deferred free: push onto the segment's client_free
 		// list; the owner collects in its slow path.

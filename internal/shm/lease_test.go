@@ -1,0 +1,226 @@
+package shm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/shm"
+)
+
+// TestLeaseWindowAliasesDevice verifies a lease's bytes and the copying
+// accessors observe the same memory, both directions, and that the window
+// covers exactly the data area.
+func TestLeaseWindowAliasesDevice(t *testing.T) {
+	p := newTestPool(t)
+	c := connect(t, p)
+	root, block, err := c.Malloc(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.AcquireLease(block)
+	if err != nil {
+		t.Fatalf("AcquireLease: %v", err)
+	}
+	if got, want := len(l.Bytes()), c.DataBytesOf(block); got != want {
+		t.Fatalf("lease window %d bytes, data area %d", got, want)
+	}
+	if l.Block() != block {
+		t.Fatalf("lease block %#x, want %#x", l.Block(), block)
+	}
+
+	// Write through the lease, read through the copying accessor.
+	msg := []byte("zero-copy byte lease")
+	copy(l.Bytes(), msg)
+	got := make([]byte, len(msg))
+	c.ReadData(block, 0, got)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("ReadData after lease write: %q, want %q", got, msg)
+	}
+
+	// Write through the copying accessor, read through the lease.
+	c.WriteData(block, 8, []byte("PATCHED"))
+	if want := []byte("zero-copPATCHEDlease"); !bytes.Equal(l.Bytes()[:len(want)], want) {
+		t.Fatalf("lease after WriteData: %q, want %q", l.Bytes()[:len(want)], want)
+	}
+
+	// Word-granular accessor agrees too (little-endian byte packing).
+	copy(l.Bytes()[:8], []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if got := c.LoadWord(block, 0); got != 0x0807060504030201 {
+		t.Fatalf("LoadWord over leased bytes: %#x", got)
+	}
+
+	c.ReleaseLease(l)
+	if c.Leased(block) {
+		t.Fatal("block still leased after release")
+	}
+	if _, err := c.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, p)
+}
+
+// TestLeaseAliasingAndLifecycle pins the error surface: double lease,
+// release/re-acquire, double release, leasing a freed block, and the
+// per-client scoping of the aliasing rule.
+func TestLeaseAliasingAndLifecycle(t *testing.T) {
+	p := newTestPool(t)
+	a := connect(t, p)
+	b := connect(t, p)
+	root, block, err := a.Malloc(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1, err := a.AcquireLease(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AcquireLease(block); err != shm.ErrLeaseAliased {
+		t.Fatalf("second lease: %v, want ErrLeaseAliased", err)
+	}
+	// The aliasing rule is per client: another client holding its own
+	// counted reference may lease the same block (cross-client write
+	// ordering is the data structure's concern, as with StoreWord).
+	broot, err := b.AttachRoot(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := b.AcquireLease(block)
+	if err != nil {
+		t.Fatalf("cross-client lease: %v", err)
+	}
+	b.ReleaseLease(bl)
+	if _, err := b.ReleaseRoot(broot); err != nil {
+		t.Fatal(err)
+	}
+
+	a.ReleaseLease(l1)
+	a.ReleaseLease(l1) // double release: no-op
+	l2, err := a.AcquireLease(block)
+	if err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	}
+	a.ReleaseLease(l2)
+
+	if _, err := a.ReleaseRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AcquireLease(block); err != shm.ErrStaleReference {
+		t.Fatalf("lease on freed block: %v, want ErrStaleReference", err)
+	}
+	mustValidate(t, p)
+}
+
+// TestLeaseZeroAlloc pins the freelist property: after warm-up, an
+// acquire/release cycle allocates nothing on the Go heap.
+func TestLeaseZeroAlloc(t *testing.T) {
+	p := newTestPool(t)
+	c := connect(t, p)
+	_, block, err := c.Malloc(128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: first acquire creates the wrapper and the map bucket.
+	l, err := c.AcquireLease(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ReleaseLease(l)
+	if n := testing.AllocsPerRun(200, func() {
+		l, err := c.AcquireLease(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ReleaseLease(l)
+	}); n != 0 {
+		t.Errorf("acquire/release cycle allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// FuzzLeaseAliasing drives a random acquire/release/free/malloc schedule
+// and checks the core invariant after every step: a client never holds
+// two live leases over one block, and every live lease covers a block the
+// model says is still allocated.
+func FuzzLeaseAliasing(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 3, 1, 0, 0, 2, 1})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 3, 3, 2, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		p := newTestPool(t)
+		c := connect(t, p)
+		type objState struct {
+			root  layout.Addr
+			block layout.Addr
+			lease *shm.Lease
+		}
+		var objs []objState
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // malloc
+				if len(objs) >= 32 {
+					continue
+				}
+				root, block, err := c.Malloc(64, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				objs = append(objs, objState{root: root, block: block})
+			case 1: // acquire on a pseudo-random object
+				if len(objs) == 0 {
+					continue
+				}
+				o := &objs[int(op/4)%len(objs)]
+				l, err := c.AcquireLease(o.block)
+				switch {
+				case o.lease != nil:
+					if err != shm.ErrLeaseAliased {
+						t.Fatalf("aliasing acquire: err=%v, want ErrLeaseAliased", err)
+					}
+				case err != nil:
+					t.Fatalf("acquire: %v", err)
+				default:
+					o.lease = l
+				}
+			case 2: // release lease
+				if len(objs) == 0 {
+					continue
+				}
+				o := &objs[int(op/4)%len(objs)]
+				c.ReleaseLease(o.lease) // nil-safe
+				o.lease = nil
+			case 3: // free the object (model requires lease released first)
+				if len(objs) == 0 {
+					continue
+				}
+				i := int(op/4) % len(objs)
+				o := objs[i]
+				if o.lease != nil {
+					c.ReleaseLease(o.lease)
+				}
+				if _, err := c.ReleaseRoot(o.root); err != nil {
+					t.Fatal(err)
+				}
+				objs = append(objs[:i], objs[i+1:]...)
+			}
+			// Invariants after every step.
+			for i := range objs {
+				o := &objs[i]
+				if got := c.Leased(o.block); got != (o.lease != nil) {
+					t.Fatalf("block %#x: Leased()=%v, model lease=%v", o.block, got, o.lease != nil)
+				}
+				if o.lease != nil && o.lease.Block() != o.block {
+					t.Fatalf("lease points at %#x, model says %#x", o.lease.Block(), o.block)
+				}
+			}
+		}
+		for _, o := range objs {
+			if o.lease != nil {
+				c.ReleaseLease(o.lease)
+			}
+			if _, err := c.ReleaseRoot(o.root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustValidate(t, p)
+	})
+}

@@ -268,6 +268,14 @@ func (p *Pool) StaleClients() []int {
 // benchmarks).
 func (p *Pool) Device() cxl.Memory { return p.dev }
 
+// DataWindow returns a zero-copy byte view of nbytes starting at word a,
+// or nil when the backend cannot alias its memory (see cxl.DataWindow).
+// The shm-level discipline — data words of referenced blocks only — is
+// enforced by the lease layer (lease.go), the only intended caller.
+func (p *Pool) DataWindow(a layout.Addr, nbytes int) []byte {
+	return cxl.DataWindow(p.dev, a, nbytes)
+}
+
 // Obs exposes the pool's observability core (metrics + recovery tracer).
 func (p *Pool) Obs() *obs.Metrics { return p.obs }
 

@@ -39,6 +39,11 @@ type queueShadow struct {
 	capacity     int
 	headA, tailA layout.Addr
 	head, tail   uint64
+	// knownClean: this client created the queue in this incarnation, so no
+	// slot can hold an orphan from a crashed predecessor — the sender-side
+	// orphan probe (one load per send) is skipped. Never true for a shadow
+	// rebuilt after reconnect: the flag is set only by CreateQueue itself.
+	knownClean bool
 }
 
 // queueShadowOf returns (building on first use) the shadow for a queue
@@ -124,7 +129,9 @@ func (c *Client) CreateQueueBetween(senderCID, receiverCID, capacity int) (root,
 	// race with the monitor.
 	m := layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
 	m.Flags |= layout.MetaQueue
-	c.h.Store(block+layout.MetaOff, layout.PackMeta(m))
+	mw := layout.PackMeta(m)
+	c.h.Store(block+layout.MetaOff, mw)
+	c.noteMeta(block, mw)
 
 	reg := -1
 	for i := 0; i < c.geo.MaxQueues; i++ {
@@ -144,6 +151,12 @@ func (c *Client) CreateQueueBetween(senderCID, receiverCID, capacity int) (root,
 	c.h.Store(queueHeadAddr(block, capacity), 0)
 	c.h.Store(queueTailAddr(block, capacity), 0)
 	c.dropQueueShadow(block)
+	if senderCID == c.cid {
+		// Creator is the sender: every slot starts zero and stays clean
+		// within this incarnation (receives zero slots they consume), so
+		// sends can skip the orphan probe.
+		c.queueShadowOf(block).knownClean = true
+	}
 	return root, block, nil
 }
 
@@ -199,7 +212,7 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 		}
 	}
 	slot := queueSlot(block, qs.capacity, qs.tail)
-	if err := c.reclaimOrphanSlot(slot); err != nil {
+	if err := c.reclaimOrphanSlot(qs, slot); err != nil {
 		return err
 	}
 	if err := c.AttachReference(slot, target); err != nil {
@@ -219,7 +232,10 @@ func (c *Client) Send(block layout.Addr, target layout.Addr) error {
 // not move), so the next send to it must release the orphan first —
 // overwriting the slot word would leave the target's count holding a
 // reference no slot records, a permanent leak.
-func (c *Client) reclaimOrphanSlot(slot layout.Addr) error {
+func (c *Client) reclaimOrphanSlot(qs *queueShadow, slot layout.Addr) error {
+	if qs.knownClean {
+		return nil
+	}
 	old := c.h.Load(slot)
 	if old == 0 {
 		return nil
@@ -270,7 +286,7 @@ func (c *Client) SendBatch(block layout.Addr, targets []layout.Addr) (int, error
 	}
 	for i := 0; i < n; i++ {
 		slot := queueSlot(block, qs.capacity, qs.tail+uint64(i))
-		if err := c.reclaimOrphanSlot(slot); err != nil {
+		if err := c.reclaimOrphanSlot(qs, slot); err != nil {
 			publish(i)
 			return i, err
 		}
@@ -285,7 +301,9 @@ func (c *Client) SendBatch(block layout.Addr, targets []layout.Addr) (int, error
 }
 
 // Receive takes the next reference from the queue (paper cxl_receive_from):
-// attach a fresh RootRef to the object, release the queue slot's reference,
+// move the slot's counted reference onto a fresh RootRef (one CAS-free era
+// transaction — the object's count never changes, so the paper's
+// attach-then-release pair collapses into two ModifyRef stores), then
 // advance the head. Returns the receiver's new RootRef and the object
 // address, or ErrQueueEmpty.
 func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error) {
@@ -315,15 +333,10 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := c.AttachReference(root+layout.RootRefPptrOff, target); err != nil {
+	if err := c.moveRef(root+layout.RootRefPptrOff, slot, target, true); err != nil {
 		c.abortRootRef(root)
 		return 0, 0, err
 	}
-	c.hit(faultinject.AfterReceiveAttach)
-	if _, _, err := c.releaseTxn(slot, target); err != nil {
-		return 0, 0, err
-	}
-	c.hit(faultinject.AfterReceiveRelease)
 	qs.head++
 	c.h.Store(qs.headA, qs.head)
 	c.loc[obs.CtrQueueReceive]++
@@ -331,10 +344,13 @@ func (c *Client) Receive(block layout.Addr) (root, target layout.Addr, err error
 }
 
 // ReceiveBatch takes up to max references from the queue, publishing the
-// head once for the whole batch. Returns parallel roots/targets slices;
-// ErrQueueEmpty only when nothing (real or stale) could be consumed. A crash
-// mid-batch leaves up to a batch of released-but-unadvanced slots, which the
-// next incarnation steps past exactly like single Receive's stale-slot case.
+// head once for the whole batch and closing all the per-slot move
+// transactions under a single era bump (sound because a move never publishes
+// (cid, era) into a header — see moveRef). A crash mid-batch leaves up to a
+// batch of moved-but-unadvanced slots, which the next incarnation steps past
+// exactly like single Receive's stale-slot case. Returns parallel
+// roots/targets slices; ErrQueueEmpty only when nothing (real or stale)
+// could be consumed.
 func (c *Client) ReceiveBatch(block layout.Addr, max int) (roots, targets []layout.Addr, err error) {
 	if max <= 0 {
 		return nil, nil, nil
@@ -353,8 +369,11 @@ func (c *Client) ReceiveBatch(block layout.Addr, max int) (roots, targets []layo
 	if n > max {
 		n = max
 	}
-	consumed := 0
+	consumed, moved := 0, 0
 	publish := func() {
+		if moved > 0 {
+			c.bumpEra() // closes the whole batch of moves
+		}
 		if consumed > 0 {
 			qs.head += uint64(consumed)
 			c.h.Store(qs.headA, qs.head)
@@ -373,18 +392,13 @@ func (c *Client) ReceiveBatch(block layout.Addr, max int) (roots, targets []layo
 			publish()
 			return roots, targets, rerr
 		}
-		if aerr := c.AttachReference(root+layout.RootRefPptrOff, t); aerr != nil {
+		if merr := c.moveRef(root+layout.RootRefPptrOff, slot, t, false); merr != nil {
 			c.abortRootRef(root)
 			publish()
-			return roots, targets, aerr
+			return roots, targets, merr
 		}
-		c.hit(faultinject.AfterReceiveAttach)
-		if _, _, rerr := c.releaseTxn(slot, t); rerr != nil {
-			publish()
-			return roots, targets, rerr
-		}
-		c.hit(faultinject.AfterReceiveRelease)
 		consumed++
+		moved++
 		roots = append(roots, root)
 		targets = append(targets, t)
 		c.loc[obs.CtrQueueReceive]++

@@ -5,19 +5,30 @@ import "repro/internal/layout"
 // Redo log (paper §3.3, §4.3). Each client owns a fixed redo area in its
 // ClientLocalState holding at most one in-flight era transaction:
 //
-//	word 0: valid bit (63) | op
-//	word 1: era at log time (== Era[cid][cid] while the txn is open)
-//	word 2: ref   — address of the reference word (ModifyRef target)
-//	word 3: refed — address of the object whose count is modified
+//	word 0: valid bit (63) | op (62:56) | era at log time (55:24)
+//	        | saved reference count of refed (15:0)
+//	word 1: ref   — address of the reference word (ModifyRef target)
+//	word 2: refed — address of the object whose count is modified
 //	                (for change: object A, the one being decremented)
-//	word 4: saved reference count of refed at the last CAS attempt
-//	word 5: refed2 — for change: object B, the one being incremented
-//	word 6: saved reference count of refed2 at the last CAS attempt
-//	word 7: reserved
+//	word 3: refed2 — for change: object B, the one being incremented
+//	word 4: saved reference count of refed2 at the last CAS attempt
+//	word 5..7: reserved
 //
-// The entry is (re)written before every CAS attempt and cleared right after
-// the era bump that closes the transaction. Only the owning client writes
-// it; the recovery service reads it only after the owner is RAS-fenced.
+// The entry is (re)written before every CAS attempt. Packing the op, the
+// era, and the saved count into the commit word keeps an attach/release log
+// at three stores, a move at four, and a change log at five, and — because
+// the commit word is written last — a torn entry is never observed as valid
+// with a mismatched era.
+//
+// Entries are NOT cleared when the transaction closes: the closing era bump
+// makes Era[cid][cid] move past the logged era, so recovery can tell a
+// stale entry (eraII has advanced past it — the transaction closed) from a
+// live one (eraII still at the logged era, or within the bump distance of a
+// change) without the extra invalidation store per transaction. Recovery
+// still clears the entry before publishing RECOVERED, and Connect clears
+// defensively, so an entry can never leak across incarnations. Only the
+// owning client writes the area; the recovery service reads it only after
+// the owner is RAS-fenced.
 
 // Op identifies the kind of an era transaction.
 type Op uint8
@@ -28,9 +39,22 @@ const (
 	OpAttach  Op = 1
 	OpRelease Op = 2
 	OpChange  Op = 3
+	// OpMove transfers a counted reference between two reference words owned
+	// by this client (queue receive: slot → fresh RootRef pptr) without
+	// touching the object's count — no ModifyRefCnt phase, only two
+	// idempotent ModifyRef stores, re-executed wholesale by recovery while
+	// the era gate holds. Ref is the destination word, Refed the object,
+	// Refed2 the source word being cleared.
+	OpMove Op = 4
 )
 
-const redoValidBit = uint64(1) << 63
+const (
+	redoValidBit = uint64(1) << 63
+	redoOpShift  = 56
+	redoOpMask   = uint64(0x7f)
+	redoEraShift = 24
+	redoCntMask  = uint64(0xffff)
+)
 
 // RedoEntry is the decoded form of a client's redo area.
 type RedoEntry struct {
@@ -43,41 +67,53 @@ type RedoEntry struct {
 	SavedCnt2 uint16
 }
 
-// logRedo records the in-flight transaction (line 8 of Figure 4(c)). Field
-// stores precede the valid-bit store so a torn entry is never observed as
-// valid; all device accesses are sequentially consistent.
+// packRedoCommit packs the redo commit word (word 0).
+func packRedoCommit(op Op, era uint32, savedCnt uint16) uint64 {
+	return redoValidBit | uint64(op)<<redoOpShift | uint64(era)<<redoEraShift | uint64(savedCnt)
+}
+
+// logRedo records the in-flight transaction (line 8 of Figure 4(c)). The
+// address stores precede the commit-word store, so the valid bit, the op,
+// the era, and the saved count become visible atomically and last; all
+// device accesses are sequentially consistent.
 //
-// Words 5 and 6 (refed2/saved2) carry the second object of a change
-// transaction and are consumed by recovery's replay only when the entry's op
-// is OpChange — so attach/release entries skip those two stores, and any
-// stale words 5/6 left from an older change entry are dead data.
+// Words 3 and 4 (refed2/saved2) carry the second object of a change
+// transaction (for move: the source reference word) and are consumed by
+// recovery's replay only when the entry's op says so — attach/release
+// entries skip those stores, move entries skip the saved2 store, and any
+// stale words left from an older entry are dead data.
 func (c *Client) logRedo(e RedoEntry) {
 	base := c.geo.ClientRedoBase(c.cid)
-	c.h.Store(base+1, uint64(e.Era))
-	c.h.Store(base+2, e.Ref)
-	c.h.Store(base+3, e.Refed)
-	c.h.Store(base+4, uint64(e.SavedCnt))
-	if e.Op == OpChange {
-		c.h.Store(base+5, e.Refed2)
-		c.h.Store(base+6, uint64(e.SavedCnt2))
+	c.h.Store(base+1, e.Ref)
+	c.h.Store(base+2, e.Refed)
+	if e.Op == OpChange || e.Op == OpMove {
+		c.h.Store(base+3, e.Refed2)
 	}
-	c.h.Store(base, redoValidBit|uint64(e.Op))
+	if e.Op == OpChange {
+		c.h.Store(base+4, uint64(e.SavedCnt2))
+	}
+	c.h.Store(base, packRedoCommit(e.Op, e.Era, e.SavedCnt))
 }
 
 // relogSavedCnt2 refreshes the phase-2 saved count of a change transaction
 // on CAS retry, without touching the rest of the entry.
 func (c *Client) relogSavedCnt2(cnt uint16) {
-	c.h.Store(c.geo.ClientRedoBase(c.cid)+6, uint64(cnt))
+	c.h.Store(c.geo.ClientRedoBase(c.cid)+4, uint64(cnt))
 }
 
-// clearRedo invalidates the entry after the closing era bump.
+// clearRedo invalidates the entry. Not part of any transaction close (the
+// era distance does that job, see the file comment); called defensively by
+// Connect and before publishing a page-burst-visible state change that the
+// stale entry could be misread against.
 func (c *Client) clearRedo() {
 	c.h.Store(c.geo.ClientRedoBase(c.cid), 0)
 }
 
 // ReadRedo reads client cid's redo entry. ok is false when no transaction
-// was in flight. Intended for the recovery service (after fencing cid) and
-// for tests.
+// was ever logged (or the entry was cleared). Callers must still compare the
+// entry's era against Era[cid][cid] to distinguish an in-flight transaction
+// from a long-closed one. Intended for the recovery service (after fencing
+// cid) and for tests.
 func (p *Pool) ReadRedo(cid int) (RedoEntry, bool) {
 	base := p.geo.ClientRedoBase(cid)
 	w0 := p.dev.Load(base)
@@ -85,13 +121,13 @@ func (p *Pool) ReadRedo(cid int) (RedoEntry, bool) {
 		return RedoEntry{}, false
 	}
 	return RedoEntry{
-		Op:        Op(w0 &^ redoValidBit),
-		Era:       uint32(p.dev.Load(base + 1)),
-		Ref:       p.dev.Load(base + 2),
-		Refed:     p.dev.Load(base + 3),
-		SavedCnt:  uint16(p.dev.Load(base + 4)),
-		Refed2:    p.dev.Load(base + 5),
-		SavedCnt2: uint16(p.dev.Load(base + 6)),
+		Op:        Op(w0 >> redoOpShift & redoOpMask),
+		Era:       uint32(w0 >> redoEraShift),
+		SavedCnt:  uint16(w0 & redoCntMask),
+		Ref:       p.dev.Load(base + 1),
+		Refed:     p.dev.Load(base + 2),
+		Refed2:    p.dev.Load(base + 3),
+		SavedCnt2: uint16(p.dev.Load(base + 4)),
 	}, true
 }
 

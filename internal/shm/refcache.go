@@ -1,0 +1,148 @@
+package shm
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Reference shadow caches: the free-path counterpart of shadow.go.
+//
+// A free (ReleaseRoot of the last count) used to pay four device loads —
+// the RootRef word, its pptr, the block header, and the block meta — before
+// its first store. All four words are either owner-exclusive or were last
+// written by this client on the overwhelmingly common path, so they are
+// cached here:
+//
+//   - rootShadow mirrors a RootRef slot's thread-local count and pptr
+//     target. Both words are single-writer (§5.2: CloneRoot/ReleaseRoot use
+//     no atomics), and the segment scan never rewrites a live owner's
+//     in_use slots, so the mirror is exact while the client lives. Entries
+//     are created when the slot is claimed and deleted when it is freed.
+//
+//   - blockShadow carries a block's meta word (immutable from allocation
+//     to free, single-writer exceptions routed through noteMeta) and the
+//     last header word this client itself published. The header is shared
+//     state (any client may CAS it), so the cached value is only ever a
+//     CAS *guess*: the transaction loops in era.go seed their first
+//     attempt from it and fall back to a device load when the guess loses
+//     the CAS. A stale guess costs one extra CAS attempt; it can never
+//     commit, because the commit is a full-word compare.
+//
+// Entries are created at Malloc, updated at every header publication by
+// this client, and deleted when the block is freed — by this client
+// (reclaimRaw) or, for blocks other clients freed into our segments'
+// client_free lists, when the deferred frees are collected. Between a
+// remote free and that collection an entry is stale but unreachable: no
+// live reference to the block remains, so no transaction consults it.
+// Like every shadow, these are read-elision only — recovery and validation
+// never see them, and a crash loses nothing but cached copies of device
+// words.
+
+type rootShadow struct {
+	cnt    uint32
+	target layout.Addr
+}
+
+type blockShadow struct {
+	header uint64 // last header word this client published (CAS guess only)
+	meta   uint64 // packed meta word; immutable while allocated
+}
+
+// noteRoot records (or resets) the shadow of a just-claimed RootRef slot.
+func (c *Client) noteRoot(root layout.Addr, cnt uint32, target layout.Addr) {
+	c.roots[root] = &rootShadow{cnt: cnt, target: target}
+}
+
+// noteRootTarget records a new value of a reference word if — and only if —
+// that word is the pptr of a shadowed RootRef. ref may just as well be an
+// embedded reference or a queue slot: those live in normal pages, so
+// ref-RootRefPptrOff can never collide with a RootRef slot address this
+// client has shadowed, and the lookup simply misses.
+func (c *Client) noteRootTarget(ref, target layout.Addr) {
+	if ref < layout.RootRefPptrOff {
+		return
+	}
+	if rs := c.roots[ref-layout.RootRefPptrOff]; rs != nil {
+		rs.target = target
+	}
+}
+
+func (c *Client) dropRoot(root layout.Addr) { delete(c.roots, root) }
+
+// noteBlock records the shadow of a just-initialized block.
+func (c *Client) noteBlock(block layout.Addr, header, meta uint64) {
+	c.blocks[block] = &blockShadow{header: header, meta: meta}
+}
+
+// noteHeader updates the cached header after this client published a new
+// header word (allocation init or a committed transaction CAS).
+func (c *Client) noteHeader(block layout.Addr, w uint64) {
+	if bs := c.blocks[block]; bs != nil {
+		bs.header = w
+	}
+}
+
+// noteMeta updates the cached meta word on the rare legitimate in-place
+// meta rewrite (CreateQueue setting the queue flag).
+func (c *Client) noteMeta(block layout.Addr, w uint64) {
+	if bs := c.blocks[block]; bs != nil {
+		bs.meta = w
+	}
+}
+
+func (c *Client) dropBlock(block layout.Addr) { delete(c.blocks, block) }
+
+// guessHeader returns a first CAS attempt value for block's header: the
+// cached word when present (guessed=true), a device load otherwise.
+func (c *Client) guessHeader(block layout.Addr) (w uint64, guessed bool) {
+	if bs := c.blocks[block]; bs != nil {
+		return bs.header, true
+	}
+	return c.h.Load(block + layout.HeaderOff), false
+}
+
+// metaOf reads a block's meta through the shadow when present.
+func (c *Client) metaOf(block layout.Addr) layout.Meta {
+	if bs := c.blocks[block]; bs != nil {
+		return layout.UnpackMeta(bs.meta)
+	}
+	return layout.UnpackMeta(c.h.Load(block + layout.MetaOff))
+}
+
+// checkRefShadow verifies the reference caches against the device (the
+// CheckShadow leg for this file). Root shadows must match exactly. Block
+// shadows: a no-longer-allocated block is a pending remote free (dropped at
+// the next client_free collection) and is skipped; otherwise the meta must
+// match, and the header must match unless another client has published over
+// it — detectable because a committed header always carries its writer's
+// LCID.
+func errShadow(format string, args ...any) error {
+	return fmt.Errorf("shm: "+format, args...)
+}
+
+func (c *Client) checkRefShadow() error {
+	for root, rs := range c.roots {
+		inUse, cnt := layout.UnpackRootRef(c.h.Load(root))
+		if !inUse || cnt != rs.cnt {
+			return errShadow("RootRef %#x shadow cnt %d, device inUse=%v cnt=%d", root, rs.cnt, inUse, cnt)
+		}
+		if got := c.h.Load(root + layout.RootRefPptrOff); got != rs.target {
+			return errShadow("RootRef %#x shadow target %#x, device %#x", root, rs.target, got)
+		}
+	}
+	for block, bs := range c.blocks {
+		mw := c.h.Load(block + layout.MetaOff)
+		if !layout.UnpackMeta(mw).Allocated() {
+			continue // freed by another client; entry dropped at collection
+		}
+		if mw != bs.meta {
+			return errShadow("block %#x shadow meta %#x, device %#x", block, bs.meta, mw)
+		}
+		hw := c.h.Load(block + layout.HeaderOff)
+		if hw != bs.header && layout.UnpackHeader(hw).LCID == uint16(c.cid) {
+			return errShadow("block %#x shadow header %#x, device %#x (own LCID)", block, bs.header, hw)
+		}
+	}
+	return nil
+}

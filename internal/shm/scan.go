@@ -60,6 +60,13 @@ type ScanReport struct {
 // free blocks are only re-linked in a round that reclaimed nothing (with a
 // fresh snapshot).
 func (c *Client) ScanSegment(seg int, ownerDead bool) ScanReport {
+	if c.ownedBySeg[seg] != nil {
+		// Scanning a segment we own is a publication epoch — mandatory, not
+		// just convenient: our own deferred frees are in the lost-block state
+		// (freeer == us), so the relink round would re-insert them and a later
+		// publication burst would then insert them a second time.
+		c.flushPending(EpochScan)
+	}
 	t0 := time.Now()
 	c.pool.obs.Trace(obs.Event{Type: obs.EvScanStarted, Client: c.cid, Segment: seg})
 	total := c.scanSegment(seg, ownerDead)
@@ -158,11 +165,31 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 		if info.Kind == layout.PageKindRootRef {
 			nextOff = layout.RootRefPptrOff
 		}
+		// Bounded walk: this scan is recovery machinery and may run over a
+		// damaged pool, where a free chain can contain a cycle (e.g. a
+		// corruption-induced double insert). A repeat visit or an impossible
+		// chain length ends the walk — every reachable block's membership is
+		// already recorded by then, and the repairing fsck owns diagnosing
+		// the broken chain itself.
+		steps := 0
 		for b := c.h.Load(meta + pmFree); b != 0; b = c.h.Load(b + nextOff) {
+			if _, seen := onList[b]; seen {
+				break
+			}
+			if steps++; steps > int(c.geo.PageWords) {
+				break
+			}
 			onList[b] = struct{}{}
 		}
 	}
+	cfSteps := 0
 	for b := c.h.Load(c.geo.SegClientFreeAddr(seg)); b != 0; b = c.h.Load(b + freeNextOff) {
+		if _, seen := onList[b]; seen {
+			break
+		}
+		if cfSteps++; cfSteps > numPages*int(c.geo.PageWords) {
+			break
+		}
 		onList[b] = struct{}{}
 	}
 
@@ -184,6 +211,14 @@ func (c *Client) scanSegmentOnce(seg int, ownerDead, relink bool) ScanReport {
 		case layout.PageKindRootRef:
 			for slot := base; slot+layout.RootRefWords <= scanPos; slot += layout.RootRefWords {
 				if _, free := onList[slot]; free {
+					continue
+				}
+				if slot == c.inflightRoot {
+					// Taken by this client's own in-progress malloc but not
+					// yet claimed in_use (we got here via the slow path's
+					// scanFlaggedOwned): re-linking it would hand the slot
+					// out twice.
+					r.Live++
 					continue
 				}
 				inUse, _ := layout.UnpackRootRef(c.h.Load(slot))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Owner-local metadata shadow cache.
@@ -45,6 +46,22 @@ type ownedPage struct {
 	// onClassList marks the page as present in classPages[class] (normal
 	// pages) or rootPages (RootRef pages), making re-adds O(1).
 	onClassList bool
+
+	// pend holds blocks (or RootRef slots) freed by this client but not yet
+	// published to the page's device free list: each is free-marked on the
+	// device (header zero, meta recording this client as freeer — exactly
+	// the "lost block" state the segment-local scan re-links once the freeer
+	// is dead), while the chain/head stores are batched into the next
+	// publication burst. Allocation pops from here first, so a free/malloc
+	// pair in the same epoch costs zero list publication stores.
+	pend []layout.Addr
+	// usedDelta accumulates unpublished changes to the page's Used counter
+	// (pmInfo): +1 per allocation, -1 per deferred free. The device word
+	// lags by at most one publication epoch; nothing in recovery or
+	// validation reads Used (it is an owner-local occupancy hint).
+	usedDelta int32
+	// pendListed marks the page as present in the client's pendPages list.
+	pendListed bool
 }
 
 // ownedSeg is the client-side shadow of one owned segment: the claimed-page
@@ -93,11 +110,167 @@ func (c *Client) storePMFree(seg int, metaA layout.Addr, v uint64) {
 	}
 }
 
+// --- deferred metadata publication ---
+
+// pendCap bounds the client-wide count of unpublished frees. Reaching it
+// forces a publication burst, so the worst-case "lost block" exposure after
+// a crash (all re-linked by the segment scan) stays bounded no matter how
+// free-heavy the workload is.
+const pendCap = 256
+
+// notePendPage registers op as carrying unpublished state.
+func (c *Client) notePendPage(op *ownedPage) {
+	if !op.pendListed {
+		op.pendListed = true
+		c.pendPages = append(c.pendPages, op)
+	}
+}
+
+// deferFree parks a freed block (already free-marked on the device) on the
+// page's pending list instead of publishing it. Publication happens in a
+// burst at the next epoch boundary (alloc refill, heartbeat, scan, close, or
+// the pendCap backstop). The page is re-added to its allocation cache — the
+// pending tier is the allocator's first stop, so the block is immediately
+// reusable with zero further device stores.
+func (c *Client) deferFree(op *ownedPage, block layout.Addr) {
+	op.pend = append(op.pend, block)
+	op.usedDelta--
+	c.notePendPage(op)
+	info := layout.UnpackPageMeta(op.info)
+	switch info.Kind {
+	case layout.PageKindNormal:
+		c.readdClassPage(int(info.SizeClass), op)
+	case layout.PageKindRootRef:
+		if !op.onClassList {
+			op.onClassList = true
+			c.rootPages = append(c.rootPages, op)
+		}
+	}
+	if c.pendCount++; c.pendCount >= pendCap {
+		c.flushPending(EpochBackstop)
+	}
+}
+
+// noteUsedDelta defers a page Used-counter change to the next publication
+// burst.
+func (c *Client) noteUsedDelta(op *ownedPage, d int32) {
+	op.usedDelta += d
+	c.notePendPage(op)
+}
+
+// publishPage performs one page's publication burst: chain every pending
+// block into one intrusive list ending at the current published head, then
+// publish the new head with a single pmFree store, then fold the deferred
+// Used delta into one pmInfo store. A crash before the head store leaves the
+// pending blocks exactly as they were — free-marked on no list, re-linked by
+// the segment scan once this client is dead; a crash after it has published
+// everything that matters (the Used counter is an occupancy hint).
+func (c *Client) publishPage(op *ownedPage) {
+	info := layout.UnpackPageMeta(op.info)
+	if n := len(op.pend); n > 0 {
+		nextOff := layout.Addr(freeNextOff)
+		if info.Kind == layout.PageKindRootRef {
+			nextOff = layout.RootRefPptrOff
+		}
+		for i, b := range op.pend {
+			nxt := op.free
+			if i+1 < n {
+				nxt = op.pend[i+1]
+			}
+			c.h.Store(b+nextOff, nxt)
+		}
+		op.free = op.pend[0]
+		c.h.Store(op.meta+pmFree, op.free)
+		op.pend = op.pend[:0]
+		// The page has published free space again: make sure the allocator
+		// can find it (it may have been dropped from its cache while full).
+		switch info.Kind {
+		case layout.PageKindNormal:
+			c.readdClassPage(int(info.SizeClass), op)
+		case layout.PageKindRootRef:
+			if !op.onClassList {
+				op.onClassList = true
+				c.rootPages = append(c.rootPages, op)
+			}
+		}
+	}
+	if op.usedDelta != 0 {
+		if op.usedDelta > 0 {
+			info.Used += uint32(op.usedDelta)
+		} else if d := uint32(-op.usedDelta); info.Used > d {
+			info.Used -= d
+		} else {
+			info.Used = 0
+		}
+		op.usedDelta = 0
+		op.info = layout.PackPageMeta(info)
+		c.h.Store(op.meta+pmInfo, op.info)
+	}
+}
+
+// Publication-epoch triggers: what caused a flushPending burst. Recorded
+// per client (LastPublishEpoch) so diagnostics — the crash sweep's repro
+// lines in particular — can name the epoch a crash landed in.
+const (
+	EpochRefill    = "refill"    // allocation slow path claiming a fresh page
+	EpochHeartbeat = "heartbeat" // periodic liveness beat
+	EpochScan      = "scan"      // scan entry of an owned segment
+	EpochDetach    = "detach"    // client Close
+	EpochBackstop  = "backstop"  // pendCap reached
+	EpochFlush     = "flush"     // explicit Flush call
+)
+
+// flushPending publishes every page's deferred frees and counter deltas in
+// one coalesced burst. Called at the epoch boundaries (alloc refill,
+// heartbeat, scan entry of an owned segment, close) and by the pendCap
+// backstop. A fenced client skips both the stores (the device would drop
+// them) and the shadow mutation, leaving the pending state for recovery's
+// segment scan to re-link.
+func (c *Client) flushPending(trigger string) {
+	if len(c.pendPages) == 0 || c.h.Fenced() {
+		return
+	}
+	c.epochTrigger, c.epochSeq = trigger, c.epochSeq+1
+	published := c.pendCount
+	for _, op := range c.pendPages {
+		c.publishPage(op)
+		op.pendListed = false
+	}
+	c.pendPages = c.pendPages[:0]
+	c.pendCount = 0
+	c.loc[obs.CtrPublishBatch]++
+	if published > 0 {
+		c.loc[obs.CtrPublishedFrees] += uint64(published)
+		c.mx.Observe(obs.HistPublishBatch, int64(published))
+	}
+}
+
+// Flush publishes all deferred owner-local metadata (pending frees, page
+// used counters) to the device immediately. Applications that want a
+// bounded-staleness device image (e.g. before handing the pool file to an
+// external inspector) can call it at will; the allocator's own epoch
+// triggers make it unnecessary otherwise.
+func (c *Client) Flush() { c.flushPending(EpochFlush) }
+
+// LastPublishEpoch reports the most recent publication epoch: its trigger
+// and a per-client sequence number (0 = no epoch has run yet). The
+// trigger is recorded before the epoch's first store, so it names even an
+// epoch a crash cut short.
+func (c *Client) LastPublishEpoch() (trigger string, seq uint64) {
+	return c.epochTrigger, c.epochSeq
+}
+
 // CheckShadow verifies every cached word against the device, returning the
 // first mismatch. The shadow is an optimization, never a source of truth;
 // tests call this after workloads and crash-recovery drills to prove the
 // write-through discipline holds. Must not be called on a fenced client
 // (dropped stores make divergence expected and harmless there).
+//
+// Published mirrors (info/free/scan) must match the device exactly. Pending
+// (deferred) frees are verified in place: each pending block must be
+// free-marked on the device with this client recorded as the freeer, and
+// must not be reachable from the page's published free list (it will only
+// become reachable in a publication burst).
 func (c *Client) CheckShadow() error {
 	for _, os := range c.owned {
 		np := int(c.h.Load(c.geo.SegNextPageAddr(os.seg)))
@@ -117,7 +290,13 @@ func (c *Client) CheckShadow() error {
 			if got := c.h.Load(op.meta + pmScan); got != op.scan {
 				return fmt.Errorf("shm: shadow seg %d page %d scan %#x, device %#x", os.seg, pg, op.scan, got)
 			}
+			if err := c.checkPendCoherent(os.seg, pg, op); err != nil {
+				return err
+			}
 		}
+	}
+	if err := c.checkRefShadow(); err != nil {
+		return err
 	}
 	for block, qs := range c.queues {
 		// The client's own end is exact; the opposite end may lag (it is
@@ -127,6 +306,42 @@ func (c *Client) CheckShadow() error {
 		}
 		if dev := c.h.Load(qs.tailA); qs.tail > dev {
 			return fmt.Errorf("shm: queue %#x cached tail %d ahead of device %d", block, qs.tail, dev)
+		}
+	}
+	return nil
+}
+
+// checkPendCoherent verifies one page's deferred-publication state against
+// the device (see CheckShadow).
+func (c *Client) checkPendCoherent(seg, pg int, op *ownedPage) error {
+	if len(op.pend) == 0 {
+		return nil
+	}
+	info := layout.UnpackPageMeta(op.info)
+	nextOff := layout.Addr(freeNextOff)
+	if info.Kind == layout.PageKindRootRef {
+		nextOff = layout.RootRefPptrOff
+	}
+	onList := make(map[layout.Addr]struct{})
+	for b := op.free; b != 0; b = c.h.Load(b + nextOff) {
+		onList[b] = struct{}{}
+	}
+	for _, b := range op.pend {
+		if _, published := onList[b]; published {
+			return fmt.Errorf("shm: seg %d page %d pending block %#x already on the published free list", seg, pg, b)
+		}
+		if info.Kind == layout.PageKindRootRef {
+			if w := c.h.Load(b); w != 0 {
+				return fmt.Errorf("shm: seg %d page %d pending RootRef slot %#x not cleared on device (%#x)", seg, pg, b, w)
+			}
+			continue
+		}
+		if w := c.h.Load(b + layout.HeaderOff); w != 0 {
+			return fmt.Errorf("shm: seg %d page %d pending block %#x header not zero (%#x)", seg, pg, b, w)
+		}
+		m := layout.UnpackMeta(c.h.Load(b + layout.MetaOff))
+		if m.Allocated() || int(m.EmbedCnt) != c.cid {
+			return fmt.Errorf("shm: seg %d page %d pending block %#x not free-marked by this client (meta %+v)", seg, pg, b, m)
 		}
 	}
 	return nil

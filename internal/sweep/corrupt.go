@@ -352,7 +352,7 @@ func runCorruptTrial(cfg CorruptConfig, region faultinject.Region, class faultin
 }
 
 // rerunOverRepaired attaches fresh clients to the repaired pool and runs
-// the whole 24-op script plus the standard epilogue. Leftover trial state
+// the whole scripted workload plus the standard epilogue. Leftover trial state
 // the crashed script never released (the named root) is cleared first —
 // through a client when the target is healthy, by direct management-plane
 // store when it leads into quarantined territory.

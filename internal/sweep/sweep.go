@@ -55,12 +55,21 @@ type Violation struct {
 	Access         int
 	RecoveryAccess int // 0 for phase-A violations
 	Backend        string
-	Detail         string
+	// Epoch names the deferred-publication epoch trigger (refill,
+	// heartbeat, scan, detach, ...) when one ran inside the crashed
+	// operation — the crash then landed before, during, or after a
+	// publication burst, which is the first thing to know when triaging.
+	// Empty when the operation ran no epoch.
+	Epoch  string
+	Detail string
 }
 
 // Repro formats the minimal-repro faultsim invocation for this violation.
 func (v Violation) Repro() string {
 	s := fmt.Sprintf("faultsim -repro \"op=%s access=%d", v.Op, v.Access)
+	if v.Epoch != "" {
+		s += fmt.Sprintf(" epoch=%s", v.Epoch)
+	}
 	if v.RecoveryAccess > 0 {
 		s += fmt.Sprintf(" recovery-access=%d", v.RecoveryAccess)
 	}
@@ -108,6 +117,7 @@ type env struct {
 	rh, rh2    layout.Addr // huge-object roots
 	bh         layout.Addr // first huge object's block
 	qr, q, oq  layout.Addr // queue: x's root, block, o's root
+	burst      []layout.Addr // roots of the deferred-free burst leg
 
 	nextPayload uint64
 	receipts    map[uint64]int
@@ -307,6 +317,55 @@ func script() []op {
 					return err
 				}
 			}
+			return nil
+		}},
+		// Deferred-publication legs: a burst of frees parks blocks in the
+		// owner's pending tier (free-marked on the device but on no free
+		// list), so crashes in free-burst land BEFORE the publication
+		// epoch; the Heartbeat in publish-epoch then runs the epoch, and
+		// crashes there land DURING the burst (chains part-linked, head
+		// store pending or landed, Used fold pending) and AFTER it (the
+		// heartbeat/metrics stores that follow). Recovery must re-link the
+		// unpublished blocks via the segment scan in the first case and
+		// must not double-insert them in the others.
+		{"malloc-burst", actorX, func(e *env) error {
+			e.burst = e.burst[:0]
+			for i := 0; i < 24; i++ {
+				r, b, err := e.x.Malloc(48, 0)
+				if err != nil {
+					return err
+				}
+				e.x.StoreWord(b, 0, uint64(0xb0000+i))
+				e.burst = append(e.burst, r)
+			}
+			return nil
+		}},
+		{"free-burst", actorX, func(e *env) error {
+			for _, r := range e.burst {
+				if _, err := e.x.ReleaseRoot(r); err != nil {
+					return err
+				}
+			}
+			e.burst = e.burst[:0]
+			return nil
+		}},
+		{"publish-epoch", actorX, func(e *env) error {
+			e.x.Heartbeat()
+			return nil
+		}},
+		// Byte-lease leg: a lease is client-local state over data words, so
+		// a crash while one is live must leave recovery nothing to do. The
+		// lease's own writes are data-plane (they bypass the device hook);
+		// the StoreWord between acquire and release provides the counted
+		// crash position inside the hold window.
+		{"lease-hold", actorX, func(e *env) error {
+			l, err := e.x.AcquireLease(e.b1)
+			if err != nil {
+				return err
+			}
+			copy(l.Bytes(), "leased bytes")
+			e.x.StoreWord(e.b1, 2, 0xbeef)
+			e.x.ReleaseLease(l)
 			return nil
 		}},
 		{"scan", actorX, func(e *env) error {
@@ -650,11 +709,18 @@ func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
 		return nil, err
 	}
 	victim := ops[k].actor(e)
+	_, seq0 := victim.LastPublishEpoch()
 	sw.SetVictim(victim.ID())
 	sw.Arm(j)
 	var operr error
 	crash := faultinject.Run(func() { operr = ops[k].run(e) })
 	sw.Disarm()
+	// If the op ran a publication epoch (completed or cut short by the
+	// crash — the trigger is recorded before the epoch's first store),
+	// name its trigger in any violation's repro line.
+	if trig, seq := victim.LastPublishEpoch(); seq > seq0 {
+		v.Epoch = trig
+	}
 	if crash == nil {
 		if operr != nil {
 			v.Detail = fmt.Sprintf("op error without crash: %v", operr)
