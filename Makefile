@@ -6,7 +6,7 @@ GO ?= go
 
 .PHONY: all build test vet race verify bench bench-fastpath bench-compare \
 	bench-smoke test-mmap sweep corrupt fsck-smoke top-smoke ci \
-	bench-resilience
+	bench-resilience bench-scale
 
 all: verify
 
@@ -96,11 +96,14 @@ top-smoke:
 ci: vet build test
 	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
+	$(GO) test -race -run TestSlotChurn ./internal/shm
+	CXLSHM_BACKEND=mmap $(GO) test -race -run TestSlotChurn ./internal/shm
 	$(MAKE) bench-compare
 	$(MAKE) test-mmap
 	$(MAKE) sweep
 	$(MAKE) corrupt
 	$(GO) run ./cmd/faultsim -sweep -max-writes 8 -metrics
+	$(GO) run ./cmd/faultsim -sweep -max-writes 6 -clients 64
 	$(MAKE) top-smoke
 	$(MAKE) fsck-smoke
 
@@ -113,11 +116,20 @@ bench:
 bench-fastpath:
 	$(GO) run ./cmd/cxlbench fastpath
 
-# bench-compare re-measures the fast paths and fails when any operation's
-# device accesses per op regressed more than 10% against the committed
-# BENCH_fastpath.json. Wall time is not compared (machine-local); the
-# access counts are deterministic, so this is a sharp CI gate. After an
-# intentional improvement, re-run `make bench-fastpath` and commit the new
-# baseline.
+# bench-scale measures the client-scaling curve (attach cost and per-client
+# alloc/free device accesses at 1..256 attached clients) plus the 8-way
+# concurrent-recovery comparison, and (re)writes BENCH_scale.json in the
+# repo root with build/geometry provenance.
+bench-scale:
+	$(GO) run ./cmd/cxlbench scale
+
+# bench-compare re-measures the fast paths and the client-scaling curve,
+# failing when any operation's device accesses per op — or any per-client
+# access count at any point of the scaling curve — regressed more than 10%
+# against the committed BENCH_fastpath.json / BENCH_scale.json. Wall time
+# is not compared (machine-local); the access counts are deterministic, so
+# this is a sharp CI gate. After an intentional improvement, re-run
+# `make bench-fastpath` / `make bench-scale` and commit the new baseline.
 bench-compare:
 	$(GO) run ./cmd/cxlbench fastpath-compare
+	$(GO) run ./cmd/cxlbench scale-compare

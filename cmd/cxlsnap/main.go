@@ -310,15 +310,24 @@ func doMetrics(path string) error {
 	for i := range snap.Clients {
 		b := &snap.Clients[i]
 		status := "alive"
+		wantOdd := true // ALIVE and DEAD slots hold an odd (leased) generation
 		switch pool.ClientStatus(b.Index) {
 		case layout.ClientDead:
 			status = "DEAD — final pre-fence counters below"
 		case layout.ClientRecovered:
 			status = "recovered"
+			wantOdd = false
 		case layout.ClientSlotFree:
 			status = "slot free"
+			wantOdd = false
 		}
-		fmt.Printf("\nclient %d (pid %d, %s, %d publishes):\n", b.Index, b.Identity, status, b.Publishes)
+		gen := pool.SlotGeneration(b.Index)
+		stale := ""
+		if (gen&1 == 1) != wantOdd {
+			stale = "  ** STALE LEASE: generation parity disagrees with status — run fsck **"
+		}
+		fmt.Printf("\nclient %d (pid %d, %s, lease gen %d, %d publishes):%s\n",
+			b.Index, b.Identity, status, gen, b.Publishes, stale)
 		blockSummary(b)
 	}
 	for _, tl := range snap.Timelines {

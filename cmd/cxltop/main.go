@@ -138,9 +138,9 @@ func emitJSON(p *shm.Pool, path string, s *sample) error {
 func render(w *os.File, path string, cur, prev *sample, nevents int) {
 	u := cur.usage
 	fmt.Fprintf(w, "cxltop — %s — %s\n", path, cur.at.Format("15:04:05"))
-	fmt.Fprintf(w, "segments: %d active, %d free, %d abandoned, %d huge   clients alive: %d   pool: %s\n",
+	fmt.Fprintf(w, "segments: %d active, %d free, %d abandoned, %d huge   clients: %d/%d alive, %d dead   pool: %s\n",
 		u.SegmentsActive, u.SegmentsFree, u.SegmentsAbandoned, u.SegmentsHuge,
-		u.ClientsAlive, humanBytes(u.TotalBytes))
+		u.ClientsAlive, u.ClientsMax, u.ClientsDead, humanBytes(u.TotalBytes))
 	pc := cur.snap.Pool.Counters
 	fmt.Fprintf(w, "recovery service: %d fenced, %d recovered, %d redo replays",
 		pc[obs.CtrClientFenced], pc[obs.CtrRecoveryPass], pc[obs.CtrRedoReplay])
@@ -324,6 +324,8 @@ func emitProm(w *os.File, s *sample) {
 		writeBlock(blk, fmt.Sprintf(`scope="client",client="%d"`, blk.Index))
 	}
 	fmt.Fprintf(&b, "cxlshm_clients_alive %d\n", s.usage.ClientsAlive)
+	fmt.Fprintf(&b, "cxlshm_clients_dead %d\n", s.usage.ClientsDead)
+	fmt.Fprintf(&b, "cxlshm_clients_max %d\n", s.usage.ClientsMax)
 	fmt.Fprintf(&b, "cxlshm_segments_free %d\n", s.usage.SegmentsFree)
 	fmt.Fprintf(&b, "cxlshm_segments_active %d\n", s.usage.SegmentsActive)
 	fmt.Fprintf(&b, "cxlshm_segments_abandoned %d\n", s.usage.SegmentsAbandoned)

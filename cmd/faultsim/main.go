@@ -48,6 +48,7 @@ func main() {
 	resilienceOut := flag.String("resilience-out", "BENCH_resilience.json", "with -corrupt: write the resilience report here (empty = skip)")
 	maxWrites := flag.Int("max-writes", 0, "with -sweep: bound crash positions per operation (0 = every write)")
 	recoverySweep := flag.Bool("recovery-sweep", false, "with -sweep: also crash the recovery pass at each of its own writes")
+	clients := flag.Int("clients", 0, "with -sweep: size of the client-slot table (0 = default 8)")
 	repro := flag.String("repro", "", `reproduce one sweep position: "op=NAME access=N [epoch=T] [recovery-access=R]"`)
 	flag.StringVar(&backend, "backend", "", "device backend per trial: heap (default) or mmap")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 			Backend:       backend,
 			MaxWrites:     *maxWrites,
 			RecoverySweep: *recoverySweep,
+			Clients:       *clients,
 			Log: func(format string, args ...any) {
 				fmt.Printf("  "+format+"\n", args...)
 			},

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestClientScalingAttachIsO1 pins the tentpole claim directly: attaching
+// the 256th client costs the same constant number of device CASes as
+// attaching the 1st, and its total device accesses do not grow with the
+// attached-client count (the bitmap claim is O(1) and the era row is seeded
+// lazily, not with MaxClients eager loads).
+func TestClientScalingAttachIsO1(t *testing.T) {
+	rows, err := ClientScaling(tiny, []int{1, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rows[0]
+	for _, r := range rows[1:] {
+		if r.LastConnectCAS != base.LastConnectCAS {
+			t.Errorf("attach at %d clients took %.0f CASes, at 1 client %.0f — claim is not O(1)",
+				r.Clients, r.LastConnectCAS, base.LastConnectCAS)
+		}
+		// The only tolerated growth is the bitmap scan skipping full words:
+		// one extra load per 64 exhausted slots, nowhere near the 260-word
+		// era row an eager attach would read.
+		extra := r.LastConnectAccesses - base.LastConnectAccesses
+		if allowed := float64(r.Clients)/64 + 2; extra > allowed {
+			t.Errorf("attach at %d clients costs %.0f accesses vs %.0f at 1 client (+%.0f > %.0f allowed)",
+				r.Clients, r.LastConnectAccesses, base.LastConnectAccesses, extra, allowed)
+		}
+	}
+}
+
+// TestConcurrentRecoverySpeedup pins the concurrent-recovery acceptance bar:
+// with recovery latency-bound (sleep-modelled far-memory misses), 8 workers
+// recovering 8 independent dead clients must finish in well under 0.6x the
+// serial wall-clock.
+func TestConcurrentRecoverySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second latency-modelled recovery comparison")
+	}
+	rec, err := ConcurrentRecovery(Scale{Factor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DeadClients != 8 || rec.Workers != 8 {
+		t.Fatalf("comparison shape changed: %+v", rec)
+	}
+	if rec.ConcurrentNs >= 0.6*rec.SerialNs {
+		t.Fatalf("8-worker recovery of 8 dead clients took %.1fms vs %.1fms serial (%.2fx): want < 0.6x",
+			rec.ConcurrentNs/1e6, rec.SerialNs/1e6, rec.ConcurrentNs/rec.SerialNs)
+	}
+}
+
+func TestScaleMarshalRoundTrip(t *testing.T) {
+	rows := []ScaleRow{
+		{Clients: 1, ConnectCAS: 2, ConnectAccesses: 204, AllocAccesses: 7.2},
+		{Clients: 256, ConnectCAS: 2, ConnectAccesses: 206, AllocAccesses: 8.9},
+	}
+	rec := &ScaleRecovery{DeadClients: 8, Workers: 8, SerialNs: 8e9, ConcurrentNs: 1e9, Speedup: 8}
+	prov := obs.CollectProvenance("test", "heap")
+	data, err := MarshalScale(rows, rec, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"provenance"`) {
+		t.Fatal("document carries no provenance block")
+	}
+	got, gotRec, err := UnmarshalScale(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Clients != 256 || gotRec == nil || gotRec.Speedup != 8 {
+		t.Fatalf("round trip mangled document: %+v %+v", got, gotRec)
+	}
+	if _, _, err := UnmarshalScale([]byte(`{"benchmark":"fastpath","rows":[]}`)); err == nil {
+		t.Fatal("wrong benchmark name must be rejected")
+	}
+}
+
+func TestCompareScale(t *testing.T) {
+	committed := []ScaleRow{
+		{Clients: 1, ConnectCAS: 2, ConnectAccesses: 200, LastConnectAccesses: 200, AllocAccesses: 7, FreeAccesses: 10},
+		{Clients: 256, ConnectCAS: 2, ConnectAccesses: 206, LastConnectAccesses: 207, AllocAccesses: 9, FreeAccesses: 8},
+	}
+	fresh := []ScaleRow{
+		{Clients: 1, ConnectCAS: 2.1, ConnectAccesses: 210, LastConnectAccesses: 205, AllocAccesses: 7.5, FreeAccesses: 10.5},
+		{Clients: 256, ConnectCAS: 2, ConnectAccesses: 206, LastConnectAccesses: 207, AllocAccesses: 9, FreeAccesses: 8},
+	}
+	if regs := CompareScale(committed, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// One column over tolerance at one point, one point missing.
+	fresh = []ScaleRow{
+		{Clients: 1, ConnectCAS: 2, ConnectAccesses: 200, LastConnectAccesses: 200, AllocAccesses: 8.5, FreeAccesses: 10},
+	}
+	regs := CompareScale(committed, fresh, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "alloc") || !strings.Contains(regs[1], "missing") {
+		t.Fatalf("regression messages: %v", regs)
+	}
+}

@@ -41,6 +41,7 @@ const (
 	QueueCorrupt  IssueKind = "queue-corrupt"  // queue indices/registry inconsistent
 	EraMatrix     IssueKind = "era-matrix"     // observed era exceeds the owner's own era
 	StaleRedo     IssueKind = "stale-redo"     // valid redo entry on a recovered/free client slot
+	StaleLease    IssueKind = "stale-lease"    // slot-lease generation or bitmap disagrees with the status word
 	BadSuperblock IssueKind = "bad-superblock" // superblock word disagrees with the attached geometry
 )
 
@@ -113,6 +114,7 @@ func validate(p *shm.Pool) (*Result, *validator) {
 	v.checkQueues()
 	v.checkEraMatrix()
 	v.checkClientSlots()
+	v.checkSlotLeases()
 	return v.res, v
 }
 
@@ -162,6 +164,8 @@ type hints struct {
 	eraRaise   map[int]uint64 // client -> highest era observed of it (on violation)
 	staleRedo  []int          // settled clients with valid redo entries
 	badStatus  []int          // clients with unknown status words
+	staleLease []int          // clients whose lease generation parity disagrees with status
+	slotMap    bool           // free-slot bitmap disagrees with the status words
 }
 
 type pageHint struct{ seg, pg int }
@@ -682,6 +686,45 @@ func (v *validator) checkClientSlots() {
 					"client %d is settled (status %d) but holds a valid redo entry", cid, status)
 				v.hints.staleRedo = append(v.hints.staleRedo, cid)
 			}
+		}
+	}
+}
+
+// checkSlotLeases verifies the slot-lease invariants (internal/shm's
+// slotlease.go): the per-slot generation word's parity matches the status
+// word — ALIVE/DEAD carry an odd (leased) generation, FREE/RECOVERED an even
+// (released) one — and the free-slot bitmap only advertises claimable slots.
+// A stale lease is harmless to correctness on its own (the status word is
+// authoritative) but it either hides a claimable slot from the O(1) claim
+// path or sends claimers into guaranteed-failing CASes, so fsck surfaces
+// and repairs it. Only valid against a quiescent pool: a Connect or a
+// recovery in flight legitimately holds the intermediate states.
+func (v *validator) checkSlotLeases() {
+	for cid := 1; cid <= v.geo.MaxClients; cid++ {
+		status := v.load(v.geo.ClientStatusAddr(cid))
+		var wantOdd bool
+		switch status {
+		case layout.ClientAlive, layout.ClientDead:
+			wantOdd = true
+		case layout.ClientSlotFree, layout.ClientRecovered:
+			wantOdd = false
+		default:
+			continue // unknown status already reported by checkClientSlots
+		}
+		if gen := v.load(v.geo.SlotGenAddr(cid)); (gen&1 == 1) != wantOdd {
+			v.res.add(StaleLease, v.geo.SlotGenAddr(cid),
+				"client %d lease generation %d (parity %d) disagrees with status %d",
+				cid, gen, gen&1, status)
+			v.hints.staleLease = append(v.hints.staleLease, cid)
+		}
+		bitAddr, bit := v.geo.SlotMapBit(cid)
+		set := v.load(bitAddr)&bit != 0
+		claimable := status == layout.ClientSlotFree || status == layout.ClientRecovered
+		if set != claimable {
+			v.res.add(StaleLease, bitAddr,
+				"client %d free-slot bitmap bit is %v but status %d makes the slot claimable=%v",
+				cid, set, status, claimable)
+			v.hints.slotMap = true
 		}
 	}
 }

@@ -320,6 +320,33 @@ func TestDetectsBadClientStatus(t *testing.T) {
 	}
 }
 
+func TestDetectsStaleLeaseGenParity(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	// Corrupt: an ALIVE client whose lease generation reads even — as if the
+	// slot had already been released while the status word still says leased.
+	geo := p.Geometry()
+	p.Device().Store(geo.SlotGenAddr(c.ID()), p.SlotGeneration(c.ID())+1)
+	res := check.Validate(p)
+	if !hasIssue(res, check.StaleLease) {
+		t.Fatalf("even lease generation on ALIVE slot not reported: %v", res.Issues)
+	}
+}
+
+func TestDetectsStaleLeaseBitmap(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	// Corrupt: re-set the claimed client's free-slot bitmap bit, advertising a
+	// leased slot as claimable.
+	geo := p.Geometry()
+	a, bit := geo.SlotMapBit(c.ID())
+	p.Device().Store(a, p.Device().Load(a)|bit)
+	res := check.Validate(p)
+	if !hasIssue(res, check.StaleLease) {
+		t.Fatalf("bitmap bit set on ALIVE slot not reported: %v", res.Issues)
+	}
+}
+
 func TestDetectsFreeListEscape(t *testing.T) {
 	p := newPool(t)
 	c, _ := p.Connect()

@@ -500,3 +500,36 @@ func TestRepairedPoolStillWorks(t *testing.T) {
 		t.Fatalf("post-repair workload left issues: %v", res.Issues)
 	}
 }
+
+func TestRepairStaleLeaseGen(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	geo := p.Geometry()
+	// An ALIVE client with an even (released-looking) generation: repair must
+	// move the generation forward to odd, never the status backwards.
+	before := p.SlotGeneration(c.ID())
+	p.Device().Store(geo.SlotGenAddr(c.ID()), before+1)
+	rep := repairClean(t, p)
+	after := p.SlotGeneration(c.ID())
+	if after%2 != 1 {
+		t.Fatalf("lease generation still even after repair: %d", after)
+	}
+	if after < before {
+		t.Fatalf("repair rewound the lease generation: %d -> %d", before, after)
+	}
+	if len(rep.Blast.ClientsAffected) == 0 {
+		t.Fatal("stale lease repair not attributed to a client")
+	}
+}
+
+func TestRepairStaleLeaseBitmap(t *testing.T) {
+	p := newPool(t)
+	c, _ := p.Connect()
+	geo := p.Geometry()
+	a, bit := geo.SlotMapBit(c.ID())
+	p.Device().Store(a, p.Device().Load(a)|bit)
+	repairClean(t, p)
+	if p.Device().Load(a)&bit != 0 {
+		t.Fatal("leased slot still advertised in the free-slot bitmap after repair")
+	}
+}

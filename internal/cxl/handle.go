@@ -199,7 +199,7 @@ func (h *Handle) SFence() {
 	}
 	h.ctr.fences.Add(1)
 	if h.lat != nil && h.lat.FenceNS > 0 {
-		spin(h.lat.FenceNS)
+		h.lat.charge(h.lat.FenceNS)
 	}
 	if h.dev == nil {
 		h.mem.Fence()
@@ -215,7 +215,7 @@ func (h *Handle) Flush(a Addr) {
 	}
 	h.ctr.flushes.Add(1)
 	if h.lat != nil && h.lat.FlushNS > 0 {
-		spin(h.lat.FlushNS)
+		h.lat.charge(h.lat.FlushNS)
 	}
 	if h.dev == nil {
 		h.mem.Flush(a)
@@ -230,7 +230,7 @@ func (h *Handle) chargeAccess(a Addr, cas bool) {
 	}
 	if cas {
 		if lat.CASNS > 0 {
-			spin(lat.CASNS)
+			lat.charge(lat.CASNS)
 		}
 		// CAS invalidates the line everywhere; drop it from our cache too.
 		h.cache.invalidate(a)
@@ -240,7 +240,7 @@ func (h *Handle) chargeAccess(a Addr, cas bool) {
 		return // modelled cache hit: free
 	}
 	if lat.MissNS > 0 {
-		spin(lat.MissNS)
+		lat.charge(lat.MissNS)
 	}
 }
 

@@ -19,6 +19,14 @@ type Latency struct {
 	CASNS   int // latency of an atomic RMW (coherence round trip)
 	FlushNS int // latency charged by Handle.Flush (CLWB)
 	FenceNS int // latency charged by Handle.SFence
+	// Sleep charges delays with time.Sleep instead of busy-waiting. The
+	// busy-wait default is faithful for the sub-microsecond latencies above
+	// but cannot overlap across goroutines on a single core — every spin
+	// occupies the CPU. Sleep trades per-access accuracy (scheduler
+	// granularity puts a floor of tens of microseconds under each delay,
+	// so it only makes sense with latencies at least that large) for true
+	// overlap, which is what concurrency experiments measure.
+	Sleep bool
 }
 
 func (l *Latency) enabled() bool { return l.MissNS > 0 || l.CASNS > 0 }
@@ -46,6 +54,19 @@ func spin(ns int) {
 	target := time.Duration(ns)
 	for time.Since(start) < target {
 	}
+}
+
+// charge applies one delay of the model: a busy-wait by default, a sleep
+// when the profile asks for overlap-friendly delays (Latency.Sleep).
+func (l *Latency) charge(ns int) {
+	if ns <= 0 {
+		return
+	}
+	if l.Sleep {
+		time.Sleep(time.Duration(ns))
+		return
+	}
+	spin(ns)
 }
 
 // lineCache is a tiny direct-mapped cache of line addresses, used only by

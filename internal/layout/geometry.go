@@ -10,6 +10,12 @@ import "fmt"
 //	word 7                      global reclamation era
 //	word 8                      free-segment hint (SegFreeHintWord)
 //	word 9..15                  reserved
+//	SlotMapBase..               free-slot bitmap (1 bit per client slot,
+//	                            bit set = slot claimable; accelerator only,
+//	                            the status word stays authoritative)
+//	SlotGenBase..               per-slot lease generation words
+//	                            (odd = leased ALIVE/DEAD, even = FREE or
+//	                            RECOVERED; bumped once per transition)
 //	SegVecBase..                Global Segment Allocation Vec
 //	                            (2 words per segment: state, client_free)
 //	ClientVecBase..             Global Client Local Vec
@@ -49,6 +55,19 @@ type Geometry struct {
 	RedoWords        int
 	ClientStateWords uint64
 
+	// SlotMapBase is the free-slot bitmap: SlotMapWords words, one bit per
+	// client slot (bit for cid at word (cid-1)/64, bit (cid-1)%64). A set
+	// bit means "probably claimable" — Connect uses it to find a candidate
+	// in O(1) device reads instead of an O(M) status scan. The status word
+	// is authoritative; stale bits are self-healed by claimers and the
+	// monitor's reconcile duty.
+	SlotMapBase  Addr
+	SlotMapWords uint64
+	// SlotGenBase holds one lease-generation word per client slot. The
+	// generation is bumped to odd when the slot is leased (Connect) and to
+	// even when the lease is released (recovery completing, or format).
+	// Parity invariant: ALIVE/DEAD ⇒ odd, FREE/RECOVERED ⇒ even.
+	SlotGenBase   Addr
 	SegVecBase    Addr
 	ClientVecBase Addr
 	QueueRegBase  Addr
@@ -155,6 +174,11 @@ func NewGeometry(cfg GeometryConfig) (*Geometry, error) {
 	}
 
 	base := Addr(16) // word 0 nil, 1..7 magic+geometry, 8 seg hint, 9..15 reserved
+	g.SlotMapBase = base
+	g.SlotMapWords = (uint64(g.MaxClients) + 63) / 64
+	base += Addr(g.SlotMapWords)
+	g.SlotGenBase = base
+	base += Addr(uint64(g.MaxClients))
 	g.SegVecBase = base
 	base += Addr(2 * g.NumSegments)
 	g.ClientVecBase = base
@@ -182,6 +206,22 @@ const SegFreeHintWord = Addr(8)
 
 // SegFreeHintAddr returns the address of the free-segment hint word.
 func (g *Geometry) SegFreeHintAddr() Addr { return SegFreeHintWord }
+
+// --- Slot-lease area ---
+
+// SlotMapAddr returns the address of free-slot bitmap word w
+// (w in [0, SlotMapWords)).
+func (g *Geometry) SlotMapAddr(w int) Addr { return g.SlotMapBase + Addr(w) }
+
+// SlotMapBit locates cid's bit in the free-slot bitmap: the bitmap word
+// address and the single-bit mask within it. cid is 1-based.
+func (g *Geometry) SlotMapBit(cid int) (Addr, uint64) {
+	return g.SlotMapBase + Addr((cid-1)/64), 1 << uint((cid-1)%64)
+}
+
+// SlotGenAddr returns the address of cid's lease-generation word.
+// cid is 1-based.
+func (g *Geometry) SlotGenAddr(cid int) Addr { return g.SlotGenBase + Addr(cid-1) }
 
 // --- Global Segment Allocation Vec ---
 

@@ -155,6 +155,40 @@ func TestGeometryRegionsDoNotOverlap(t *testing.T) {
 	}
 }
 
+func TestGeometrySlotLeaseArea(t *testing.T) {
+	g, err := NewGeometry(GeometryConfig{MaxClients: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slot-lease area sits between the reserved pool-header words and
+	// the segment vec: bitmap words first, then one generation word per slot.
+	if g.SlotMapBase != 16 {
+		t.Fatalf("SlotMapBase = %d, want 16 (after the reserved header words)", g.SlotMapBase)
+	}
+	if want := uint64((200 + 63) / 64); g.SlotMapWords != want {
+		t.Fatalf("SlotMapWords = %d, want %d for 200 clients", g.SlotMapWords, want)
+	}
+	if g.SlotGenBase != g.SlotMapBase+Addr(g.SlotMapWords) {
+		t.Fatal("generation words do not follow the bitmap")
+	}
+	if g.SegVecBase != g.SlotGenBase+Addr(200) {
+		t.Fatal("segment vec does not follow the slot-lease area")
+	}
+	// Bit addressing: client IDs are 1-based, bit positions 0-based.
+	if a, bit := g.SlotMapBit(1); a != g.SlotMapBase || bit != 1 {
+		t.Fatalf("SlotMapBit(1) = (%d, %#x)", a, bit)
+	}
+	if a, bit := g.SlotMapBit(64); a != g.SlotMapBase || bit != 1<<63 {
+		t.Fatalf("SlotMapBit(64) = (%d, %#x)", a, bit)
+	}
+	if a, bit := g.SlotMapBit(65); a != g.SlotMapBase+1 || bit != 1 {
+		t.Fatalf("SlotMapBit(65) = (%d, %#x)", a, bit)
+	}
+	if g.SlotGenAddr(1) != g.SlotGenBase || g.SlotGenAddr(200) != g.SlotGenBase+199 {
+		t.Fatal("SlotGenAddr does not map 1-based IDs onto the area")
+	}
+}
+
 func TestGeometryTelemetryRegion(t *testing.T) {
 	g, err := NewGeometry(GeometryConfig{})
 	if err != nil {

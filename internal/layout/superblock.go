@@ -49,7 +49,10 @@ const (
 //	5  repacked redo-log entry (era and saved count fold into the commit
 //	   word; 5 words instead of 7) with deferred invalidation, plus
 //	   publication-burst counters/histogram growing the telemetry slots
-const LayoutVersion = 5
+//	6  slot-lease area (free-slot bitmap + per-slot lease-generation
+//	   words) inserted between the pool header and the Global Segment
+//	   Allocation Vec; every region after word 16 moved
+const LayoutVersion = 6
 
 // Superblock is the decoded pool header.
 type Superblock struct {

@@ -12,17 +12,27 @@ import (
 // Monitor is the standalone failure detector (paper §3.2): it watches every
 // client's heartbeat counter and, when one stalls, fences the client and
 // runs recovery asynchronously — other clients never block on this. It also
-// periodically rescans abandoned and POTENTIAL_LEAKING segments and sweeps
-// the queue registry.
+// periodically rescans abandoned and POTENTIAL_LEAKING segments, reconciles
+// the free-slot bitmap, and sweeps the queue registry.
 //
-// The monitor and the recovery service share one goroutine, which is what
-// keeps scans of dead-owner segments race-free (see internal/shm/scan.go's
-// concurrency contract).
+// Heartbeat scanning is sharded: the device reads (status + beat per slot)
+// run lock-free, split across goroutines for pools past 64 slots, and only
+// the bookkeeping runs under the monitor lock. Recovery dispatch follows
+// the service's executor pool: with one executor (the default) recoveries
+// run inline on the monitor goroutine, exactly like the original shared
+// goroutine; with more, each dead client is handed to its own goroutine
+// (deduplicated while in flight) and up to Service.Workers() independent
+// recoveries proceed concurrently. Dead-owner segment scans stay race-free
+// either way — every one goes through the service's per-segment mutex (see
+// internal/shm/scan.go's concurrency contract).
 type Monitor struct {
 	svc      *Service
 	interval time.Duration
 	// missed heartbeats (in intervals) before a client is declared dead.
 	threshold int
+	// execIDs marks the service's executor slots: skipped during heartbeat
+	// scanning (idle pooled executors do not beat).
+	execIDs map[int]bool
 
 	mu       sync.Mutex
 	lastBeat map[int]uint64
@@ -50,6 +60,13 @@ type Monitor struct {
 	scanBackoff map[int]int
 	scanNextTry map[int]uint64
 	ticks       uint64
+	// inflight marks clients whose recovery has been dispatched to a worker
+	// goroutine and not yet recorded (concurrent dispatch mode only), so a
+	// client is never recovered by two workers at once and ticks arriving
+	// mid-recovery don't pile up duplicate dispatches.
+	inflight map[int]bool
+	// wg tracks dispatched recovery goroutines; Stop and Quiesce wait on it.
+	wg sync.WaitGroup
 
 	fsckEvery int
 	fsckFn    func() (bool, error)
@@ -134,10 +151,15 @@ func NewMonitor(svc *Service, cfg MonitorConfig) *Monitor {
 		nextTry:     make(map[int]uint64),
 		scanBackoff: make(map[int]int),
 		scanNextTry: make(map[int]uint64),
+		inflight:    make(map[int]bool),
+		execIDs:     make(map[int]bool),
 		fsckEvery:   cfg.FsckEvery,
 		fsckFn:      cfg.Fsck,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	for _, id := range svc.ExecutorIDs() {
+		m.execIDs[id] = true
 	}
 	m.recoverFn = func(cid int) (Report, error) { return svc.RecoverClient(cid) }
 	return m
@@ -148,11 +170,18 @@ func (m *Monitor) Start() {
 	go m.run()
 }
 
-// Stop terminates the monitor and waits for it to finish.
+// Stop terminates the monitor and waits for it to finish, including any
+// recovery workers still in flight.
 func (m *Monitor) Stop() {
 	close(m.stop)
 	<-m.done
+	m.wg.Wait()
 }
+
+// Quiesce waits for every dispatched recovery worker to finish and record
+// its result. Tests driving Tick directly use it to observe a stable
+// Recoveries()/Failures() state without stopping the monitor.
+func (m *Monitor) Quiesce() { m.wg.Wait() }
 
 // Reports returns the recoveries performed so far.
 func (m *Monitor) Reports() []Report {
@@ -228,13 +257,66 @@ func (m *Monitor) run() {
 	}
 }
 
+// beatObs is one slot's sharded-scan observation: status word, plus the
+// heartbeat counter for live slots. cid 0 marks a skipped (executor) slot.
+type beatObs struct {
+	cid    int
+	status uint64
+	beat   uint64
+}
+
+// beatShard is the slot-range size one gather goroutine covers. Pools at
+// or under one shard scan inline (no goroutines — keeps small-pool ticks
+// deterministic and allocation-free); larger pools fan out.
+const beatShard = 64
+
+// gatherBeats reads every slot's status (and heartbeat, for live slots)
+// without holding the monitor lock, sharded across goroutines for pools
+// past beatShard slots. Device words are read once per tick; processing
+// happens later under the lock against this stable snapshot.
+func (m *Monitor) gatherBeats() []beatObs {
+	p := m.svc.pool
+	geo := p.Geometry()
+	dev := p.Device()
+	out := make([]beatObs, geo.MaxClients+1)
+	scan := func(lo, hi int) {
+		for cid := lo; cid <= hi; cid++ {
+			if m.execIDs[cid] {
+				continue
+			}
+			o := beatObs{cid: cid, status: p.ClientStatus(cid)}
+			if o.status == layout.ClientAlive {
+				o.beat = dev.Load(geo.ClientHeartbeatAddr(cid))
+			}
+			out[cid] = o
+		}
+	}
+	if geo.MaxClients <= beatShard {
+		scan(1, geo.MaxClients)
+		return out
+	}
+	var wg sync.WaitGroup
+	for lo := 1; lo <= geo.MaxClients; lo += beatShard {
+		hi := lo + beatShard - 1
+		if hi > geo.MaxClients {
+			hi = geo.MaxClients
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
 // Tick performs one round of failure detection and background maintenance.
 // Exported so tests and benchmarks can drive the monitor deterministically.
 func (m *Monitor) Tick() {
 	p := m.svc.pool
 	geo := p.Geometry()
-	dev := p.Device()
-	self := m.svc.exec.ID()
+	beats := m.gatherBeats()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -242,12 +324,12 @@ func (m *Monitor) Tick() {
 	p.Obs().Shard(0).Inc(obs.CtrMonitorTick)
 	m.ticks++
 
-	for cid := 1; cid <= geo.MaxClients; cid++ {
-		if cid == self {
+	for _, o := range beats {
+		if o.cid == 0 {
 			continue
 		}
-		status := p.ClientStatus(cid)
-		switch status {
+		cid := o.cid
+		switch o.status {
 		case layout.ClientAlive:
 			if m.deadSeen[cid] {
 				// The slot was reused by a new incarnation; forget the old
@@ -256,7 +338,7 @@ func (m *Monitor) Tick() {
 				delete(m.backoff, cid)
 				delete(m.nextTry, cid)
 			}
-			beat := dev.Load(geo.ClientHeartbeatAddr(cid))
+			beat := o.beat
 			if !m.seen[cid] {
 				// First observation seeds the baseline without counting a
 				// miss: a fresh client whose first beat happens to equal the
@@ -325,16 +407,28 @@ func (m *Monitor) Tick() {
 			}
 		}
 	}
+	// Reconcile the free-slot bitmap with the authoritative status words:
+	// heals the crash windows of half-finished claims and releases, so a
+	// few ticks after any crash the bitmap is exact again.
+	p.ReconcileSlotMap()
 	p.SweepQueueRegistry()
 	if m.fsckEvery > 0 && m.fsckFn != nil && m.ticks%uint64(m.fsckEvery) == 0 {
 		m.fsckLocked()
 	}
-	m.svc.exec.Heartbeat()
+	// Heartbeat one executor so observers see the recovery plane alive;
+	// borrowed, so an in-flight recovery worker never shares the client.
+	exec := m.svc.borrowExec()
+	exec.Heartbeat()
+	m.svc.returnExec(exec)
 }
 
 // scanLocked runs one maintenance scan, converting a panic into a typed
 // failure with exponential per-segment backoff and an EvRepairFailed trace.
+// The scan borrows an executor (never sharing one with a recovery worker)
+// and goes through the service's per-segment mutex.
 func (m *Monitor) scanLocked(seg int) {
+	exec := m.svc.borrowExec()
+	defer m.svc.returnExec(exec)
 	defer func() {
 		pan := recover()
 		if pan == nil {
@@ -359,7 +453,7 @@ func (m *Monitor) scanLocked(seg int) {
 		m.scanBackoff[seg] = b
 		m.scanNextTry[seg] = m.ticks + uint64(b)
 	}()
-	m.svc.exec.ScanSegment(seg, true)
+	m.svc.scanSegment(exec, seg)
 }
 
 // fsckLocked runs the configured fsck duty, recording a panic or a dirty
@@ -387,8 +481,36 @@ func (m *Monitor) fsckLocked() {
 	m.svc.pool.Obs().Trace(obs.Event{Type: obs.EvRepairFailed, A: 1})
 }
 
+// recoverLocked runs (or dispatches) one recovery attempt. With a single
+// executor it runs inline on the caller's goroutine, preserving the
+// original deterministic tick behavior. With a pooled service, the attempt
+// is handed to its own goroutine — bounded by the executor pool inside
+// RecoverClient, deduplicated per client while in flight — and its result
+// is recorded under the monitor lock when it lands, so Recoveries(),
+// Failures(), and the backoff state stay coherent either way.
 func (m *Monitor) recoverLocked(cid int) {
+	if m.svc.Workers() > 1 {
+		if m.inflight[cid] {
+			return
+		}
+		m.inflight[cid] = true
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			r, err := m.recoverFn(cid)
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			delete(m.inflight, cid)
+			m.recordLocked(cid, r, err)
+		}()
+		return
+	}
 	r, err := m.recoverFn(cid)
+	m.recordLocked(cid, r, err)
+}
+
+// recordLocked books one finished recovery attempt; callers hold m.mu.
+func (m *Monitor) recordLocked(cid int, r Report, err error) {
 	if err != nil {
 		m.failures = append(m.failures, RecoveryFailure{
 			Op: "recovery", Client: cid, Segment: -1,

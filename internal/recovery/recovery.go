@@ -10,6 +10,7 @@ package recovery
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/layout"
@@ -17,25 +18,88 @@ import (
 	"repro/internal/shm"
 )
 
-// Service executes recoveries on behalf of a pool. It owns a client
-// identity for the era transactions recovery must run (releasing the
-// references a dead client possessed). A Service is single-goroutine.
+// Service executes recoveries on behalf of a pool. It owns one or more
+// client identities ("executors") for the era transactions recovery must
+// run (releasing the references a dead client possessed). With a single
+// executor (NewService) it behaves like the original single-goroutine
+// service; with more (NewServiceWorkers), recoveries of independent dead
+// clients run concurrently — each pass borrows an executor from the pool
+// for its duration, passes over the same client serialize on a per-client
+// mutex, and all segment-granular work (scans, root sweeps, frees) goes
+// through per-segment mutexes shared with the monitor's maintenance scans.
 type Service struct {
 	pool *shm.Pool
-	exec *shm.Client
+	// execs is the bounded executor pool: cap(execs) == worker count.
+	execs    chan *shm.Client
+	execList []*shm.Client
+	// cidMu serializes recovery passes over the same dead client; a second
+	// caller simply waits, then finds the slot RECOVERED and reports "not
+	// dead", exactly like a re-run against the sequential service.
+	cidMu []sync.Mutex
+	// segMu serializes segment-granular work between concurrent passes and
+	// the monitor's maintenance scans (scan.go's concurrency contract).
+	segMu []sync.Mutex
 }
 
-// NewService connects a recovery client to the pool.
+// NewService connects a single-executor recovery service to the pool.
 func NewService(pool *shm.Pool) (*Service, error) {
-	exec, err := pool.Connect()
-	if err != nil {
-		return nil, fmt.Errorf("recovery: cannot connect executor: %w", err)
-	}
-	return &Service{pool: pool, exec: exec}, nil
+	return NewServiceWorkers(pool, 1)
 }
 
-// Executor exposes the service's client (tests, stats).
-func (s *Service) Executor() *shm.Client { return s.exec }
+// NewServiceWorkers connects a recovery service with `workers` executors:
+// up to that many independent dead clients recover concurrently. Each
+// executor occupies an ordinary client slot.
+func NewServiceWorkers(pool *shm.Pool, workers int) (*Service, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	geo := pool.Geometry()
+	s := &Service{
+		pool:  pool,
+		execs: make(chan *shm.Client, workers),
+		cidMu: make([]sync.Mutex, geo.MaxClients+1),
+		segMu: make([]sync.Mutex, geo.NumSegments),
+	}
+	for i := 0; i < workers; i++ {
+		exec, err := pool.Connect()
+		if err != nil {
+			return nil, fmt.Errorf("recovery: cannot connect executor %d of %d: %w", i+1, workers, err)
+		}
+		s.execList = append(s.execList, exec)
+		s.execs <- exec
+	}
+	return s, nil
+}
+
+// Executor exposes the service's first executor client (tests, stats).
+func (s *Service) Executor() *shm.Client { return s.execList[0] }
+
+// Workers returns the executor-pool size (the recovery concurrency bound).
+func (s *Service) Workers() int { return cap(s.execs) }
+
+// ExecutorIDs lists the client IDs held by the service's executors; the
+// monitor skips them during heartbeat scanning (idle pooled executors do
+// not beat, and must not be fenced for it).
+func (s *Service) ExecutorIDs() []int {
+	ids := make([]int, len(s.execList))
+	for i, e := range s.execList {
+		ids[i] = e.ID()
+	}
+	return ids
+}
+
+// borrowExec checks an executor out of the pool; returnExec gives it back.
+func (s *Service) borrowExec() *shm.Client  { return <-s.execs }
+func (s *Service) returnExec(e *shm.Client) { s.execs <- e }
+
+// scanSegment runs one dead-owner segment scan under the segment's mutex.
+// Both recovery passes and the monitor's maintenance duties use it, so a
+// segment is never scanned by two goroutines at once.
+func (s *Service) scanSegment(exec *shm.Client, seg int) shm.ScanReport {
+	s.segMu[seg].Lock()
+	defer s.segMu[seg].Unlock()
+	return exec.ScanSegment(seg, true)
+}
 
 // Report summarizes one client recovery.
 type Report struct {
@@ -60,22 +124,35 @@ type Report struct {
 //  3. sweep the dead client's RootRef pages — the content in and only in
 //     those pages identifies every reference it possessed (§5.1),
 //  4. scan and either free or abandon its segments,
-//  5. mark the slot recovered.
+//  5. release the slot lease: clear the redo entry, scrub the era row,
+//     move the generation even, and mark the slot recovered.
 //
 // Everything here is idempotent or guarded, so a recovery that itself
-// crashes can simply be re-run.
+// crashes can simply be re-run. Concurrent calls for independent clients
+// proceed in parallel (bounded by the executor pool); calls for the same
+// client serialize.
 func (s *Service) RecoverClient(cid int) (Report, error) {
+	if cid < 1 || cid > s.pool.Geometry().MaxClients {
+		return Report{Client: cid}, fmt.Errorf("recovery: client id %d out of range", cid)
+	}
+	s.cidMu[cid].Lock()
+	defer s.cidMu[cid].Unlock()
+	exec := s.borrowExec()
+	defer s.returnExec(exec)
+	return s.recoverWith(exec, cid)
+}
+
+// recoverWith runs one recovery pass on the given executor. Callers hold
+// cidMu[cid] and own exec for the duration.
+func (s *Service) recoverWith(exec *shm.Client, cid int) (Report, error) {
 	r := Report{Client: cid}
 	p := s.pool
-	geo := p.Geometry()
-	if cid < 1 || cid > geo.MaxClients {
-		return r, fmt.Errorf("recovery: client id %d out of range", cid)
-	}
-	if status := p.ClientStatus(cid); status == layout.ClientAlive {
-		if err := p.MarkClientDead(cid); err != nil {
-			return r, err
-		}
-	} else if status != layout.ClientDead {
+	// Only DEAD slots are recoverable. Fencing is the caller's decision
+	// (MarkClientDead / the monitor's detection path) — auto-fencing an
+	// ALIVE slot here would let a stale recover request kill an innocent
+	// client, because with slot recycling the cid may have been re-leased
+	// to a new incarnation since the request was formed.
+	if status := p.ClientStatus(cid); status != layout.ClientDead {
 		return r, fmt.Errorf("recovery: client %d not dead (status %d)", cid, status)
 	}
 	p.Device().FenceClient(cid)
@@ -84,7 +161,7 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 	p.Telemetry().StampRecoveryStart(cid, t0.UnixNano())
 
 	// Step 2: redo decision and replay.
-	r.RedoNeeded = s.replayRedo(cid)
+	r.RedoNeeded = s.replayRedo(exec, cid)
 
 	// Step 3+4: walk the Global Segment Allocation Vec for segments owned by
 	// the dead client. RootRef pages are swept first (across all owned
@@ -95,12 +172,19 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 		if st.State != layout.SegActive {
 			continue
 		}
-		r.SweptRoots += s.sweepRootRefPages(seg)
+		// Deferred unlock: the executor's stores can panic under fault
+		// injection, and a mutex leaked on that unwind would deadlock every
+		// later pass (and the monitor) touching this segment.
+		func() {
+			s.segMu[seg].Lock()
+			defer s.segMu[seg].Unlock()
+			r.SweptRoots += s.sweepRootRefPages(exec, seg)
+		}()
 	}
 
 	// Huge objects: free heads whose count is zero (interrupted allocation
 	// or interrupted free); keep live ones (others still reference them).
-	freedHuge := s.sweepHugeOwned(cid, owned)
+	freedHuge := s.sweepHugeOwned(exec, cid, owned)
 	r.HugeFreed += freedHuge
 
 	// Normal segments: one scan; quiet ones are freed, the rest abandoned.
@@ -108,7 +192,7 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 		st := p.SegState(seg)
 		switch st.State {
 		case layout.SegActive:
-			rep := s.exec.ScanSegment(seg, true)
+			rep := s.scanSegment(exec, seg)
 			r.Reclaimed += rep.Reclaimed
 			r.SweptRoots += rep.SweptRoots
 			if rep.Freed {
@@ -122,25 +206,35 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 			// (mid-claim crash): sweepHugeOwned left it untouched only if no
 			// matching live head covers it.
 			if !s.coveredByLiveHead(cid, seg) {
-				s.freeSegment(seg)
+				func() {
+					s.segMu[seg].Lock()
+					defer s.segMu[seg].Unlock()
+					s.freeSegment(seg)
+				}()
 				r.SegsFreed++
 			}
 		}
 	}
 
-	// Step 5: publish completion. The redo entry must be invalidated before
-	// the slot is announced recovered: in the other order, a recovery pass
-	// that itself crashes between the two stores leaves a RECOVERED slot
-	// carrying a valid redo entry, which a later incarnation reusing the slot
-	// would inherit. Clearing first keeps every intermediate state re-runnable
-	// (DEAD + cleared redo just replays nothing).
-	dev := p.Device()
+	// Step 5: release the slot lease. Ordering is load-bearing twice over.
+	// The redo entry is invalidated before the slot is announced recovered:
+	// in the other order, a recovery pass that itself crashes between the
+	// two stores leaves a RECOVERED slot carrying a valid redo entry, which
+	// a later incarnation reusing the slot would inherit. The era row is
+	// scrubbed of stale witnesses next (only entries provably useless to
+	// any in-flight recovery — see Pool.ScrubEraRow), so the next lessee
+	// inherits a near-empty row. FinishSlotLease then moves the lease
+	// generation even *before* storing RECOVERED — a crash between the two
+	// leaves DEAD+even, which the monitor simply recovers again, whereas
+	// the opposite order could publish a claimable slot whose generation
+	// still says "leased". Every intermediate state is re-runnable.
 	p.ClearRedo(cid)
-	dev.Store(geo.ClientStatusAddr(cid), layout.ClientRecovered)
+	p.ScrubEraRow(cid)
+	p.FinishSlotLease(cid)
 
 	// Publish the executor's scan/sweep counts before announcing the pass,
 	// so a snapshot taken after the recovery sees exact totals.
-	s.exec.FlushMetrics()
+	exec.FlushMetrics()
 	sh := p.Obs().Shard(0)
 	sh.Inc(obs.CtrRecoveryPass)
 	sh.Observe(obs.HistRecoveryNS, time.Since(t0).Nanoseconds())
@@ -173,7 +267,7 @@ func (s *Service) RecoverClient(cid int) (Report, error) {
 // on an entry the client's era has moved past would replay a long-closed
 // transaction into possibly recycled words — the gate is what makes the
 // deferred invalidation safe.
-func (s *Service) replayRedo(cid int) bool {
+func (s *Service) replayRedo(exec *shm.Client, cid int) bool {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
@@ -211,7 +305,7 @@ func (s *Service) replayRedo(cid int) bool {
 			return true
 		}
 	case shm.OpChange:
-		return s.replayChange(cid, entry, eraII)
+		return s.replayChange(exec, cid, entry, eraII)
 	case shm.OpMove:
 		if eraII != entry.Era {
 			return false
@@ -250,7 +344,7 @@ func (s *Service) traceReplay(cid int, op shm.Op, cond uint8) {
 
 // replayChange completes an interrupted two-phase change (§5.4): the era was
 // bumped after each of the two CASes, so eraII tells which phase crashed.
-func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
+func (s *Service) replayChange(exec *shm.Client, cid int, e shm.RedoEntry, eraII uint32) bool {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
@@ -274,7 +368,7 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 		// transaction (B was certainly not incremented yet — that CAS only
 		// runs after the first era bump).
 		if ok, cond := s.committed(e.Refed, cid, e.Era, eraII); ok {
-			if err := s.exec.AttachReference(e.Ref, e.Refed2); err == nil {
+			if err := exec.AttachReference(e.Ref, e.Refed2); err == nil {
 				s.traceReplay(cid, e.Op, cond)
 				return true
 			}
@@ -288,7 +382,7 @@ func (s *Service) replayChange(cid int, e shm.RedoEntry, eraII uint32) bool {
 		if ok, cond := s.committed(e.Refed2, cid, e.Era+1, eraII); ok {
 			dev.Store(e.Ref, e.Refed2)
 			s.traceReplay(cid, e.Op, cond)
-		} else if err := s.exec.AttachReference(e.Ref, e.Refed2); err != nil {
+		} else if err := exec.AttachReference(e.Ref, e.Refed2); err != nil {
 			return false
 		} else {
 			s.traceReplay(cid, e.Op, 0)
@@ -353,7 +447,7 @@ func (s *Service) ownedSegments(cid int) []int {
 // sweepRootRefPages releases every reference recorded in the dead client's
 // RootRef pages within segment seg (paper §5.1: "use the content in and only
 // in these pages").
-func (s *Service) sweepRootRefPages(seg int) int {
+func (s *Service) sweepRootRefPages(exec *shm.Client, seg int) int {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
@@ -374,7 +468,7 @@ func (s *Service) sweepRootRefPages(seg int) int {
 			scanPos = end
 		}
 		for slot := base; slot+layout.RootRefWords <= scanPos; slot += layout.RootRefWords {
-			if s.exec.SweepRootRefSlot(slot) {
+			if exec.SweepRootRefSlot(slot) {
 				swept++
 			}
 		}
@@ -383,7 +477,7 @@ func (s *Service) sweepRootRefPages(seg int) int {
 }
 
 // sweepHugeOwned frees the dead client's huge objects whose count is zero.
-func (s *Service) sweepHugeOwned(cid int, owned []int) int {
+func (s *Service) sweepHugeOwned(exec *shm.Client, cid int, owned []int) int {
 	p := s.pool
 	geo := p.Geometry()
 	dev := p.Device()
@@ -398,7 +492,7 @@ func (s *Service) sweepHugeOwned(cid int, owned []int) int {
 		if hdr.RefCnt > 0 {
 			continue // live: other clients still hold references
 		}
-		rep := s.exec.ScanSegment(seg, true)
+		rep := s.scanSegment(exec, seg)
 		if rep.Freed {
 			freed++
 		}

@@ -20,12 +20,20 @@ type Client struct {
 	h    *cxl.Handle
 	cid  int
 
+	// gen is the slot lease generation stamped on this incarnation at
+	// Connect (odd while leased; see slotlease.go).
+	gen uint64
+
 	// era is the cached value of Era[cid][cid] (the device word is the
 	// authoritative copy, written through on every bump).
 	era uint32
 	// eraRow caches Era[cid][j] for j != cid, avoiding a device load per
-	// observation; also written through.
-	eraRow []uint32
+	// observation; also written through. Populated lazily: eraKnown[j]
+	// says whether entry j was seeded from the device yet, so Connect
+	// costs O(1) device loads instead of M and a client only ever touches
+	// the columns of peers it actually interacts with.
+	eraRow   []uint32
+	eraKnown []bool
 
 	// classPages[c] lists this client's pages of size class c that may have
 	// free blocks. rootPages lists its RootRef pages. Local caches only:
@@ -106,35 +114,31 @@ type pageRef struct {
 	seg, page int
 }
 
-// Connect claims a client slot and joins the pool. Slots of cleanly
-// recovered clients are reused after free slots are exhausted; the new
-// incarnation continues the slot's era sequence so committed-era uniqueness
-// is preserved across reuse.
+// Connect leases a client slot and joins the pool. The claim is
+// bitmap-guided (slotlease.go): O(1) device CASes regardless of MaxClients
+// or how many slots are occupied, with a linear status scan only as the
+// authoritative fallback. The lease is stamped with the slot's generation
+// word (odd = leased), and the new incarnation continues the slot's era
+// sequence so committed-era uniqueness is preserved across reuse. On
+// exhaustion the returned error is a *SlotExhaustedError carrying the slot
+// census; errors.Is(err, ErrTooManyClients) still matches it.
 func (p *Pool) Connect() (*Client, error) {
 	geo := p.geo
-	claim := func(want uint64) int {
-		for cid := 1; cid <= geo.MaxClients; cid++ {
-			a := geo.ClientStatusAddr(cid)
-			if p.dev.Load(a) == want && p.dev.CAS(a, want, layout.ClientAlive) {
-				return cid
-			}
-		}
-		return 0
-	}
-	cid := claim(layout.ClientSlotFree)
+	cid := p.claimSlot()
 	if cid == 0 {
-		cid = claim(layout.ClientRecovered)
+		alive, dead := p.slotCensus()
+		return nil, &SlotExhaustedError{Capacity: geo.MaxClients, Alive: alive, Dead: dead}
 	}
-	if cid == 0 {
-		return nil, ErrTooManyClients
-	}
+	gen := p.stampLeaseGen(cid)
 	p.dev.UnfenceClient(cid)
 	c := &Client{
 		pool:       p,
 		geo:        geo,
 		h:          p.dev.Open(cid),
 		cid:        cid,
+		gen:        gen,
 		eraRow:     make([]uint32, geo.MaxClients+1),
+		eraKnown:   make([]bool, geo.MaxClients+1),
 		classPages: make([][]*ownedPage, len(geo.Classes)),
 		ownedBySeg: make(map[int]*ownedSeg),
 		queues:     make(map[layout.Addr]*queueShadow),
@@ -160,19 +164,28 @@ func (p *Pool) Connect() (*Client, error) {
 	for i := range c.loc {
 		c.loc[i] = c.mx.Get(obs.Counter(i))
 	}
-	for j := 1; j <= geo.MaxClients; j++ {
-		if j != cid {
-			c.eraRow[j] = uint32(p.dev.Load(geo.EraAddr(cid, j)))
-		}
-	}
+	// The era row is NOT loaded here: observeEra seeds each column from the
+	// device on first touch (the row survives slot reuse, and its witness
+	// entries must never travel backwards, so the first write still reads
+	// the device). This keeps attach cost independent of MaxClients.
 	// Defensive: a redo entry of a previous incarnation must never survive
 	// into this one (recovery clears it before publishing RECOVERED, but the
 	// slot may also be claimed straight from FREE after an external reset).
 	c.clearRedo()
+	// Scrub the previous lessee's telemetry block before stamping our own
+	// identity: its final vector stays readable only while the slot is idle
+	// (dead-client forensics), never once a new incarnation owns the block.
+	p.tel.ScrubBlock(c.h, cid)
 	p.tel.StampIdentity(c.h, cid, uint64(os.Getpid()))
 	c.Heartbeat()
 	return c, nil
 }
+
+// Generation returns the slot lease generation stamped on this client at
+// Connect. Generations are monotonic per slot — every successful lease of
+// a slot observes a strictly greater generation than the previous lease —
+// so a (cid, generation) pair names one incarnation unambiguously.
+func (c *Client) Generation() uint64 { return c.gen }
 
 // ID returns the client's ID (1-based).
 func (c *Client) ID() int { return c.cid }
@@ -292,6 +305,13 @@ func (c *Client) observeEra(lcid uint16, lera uint32) {
 	j := int(lcid)
 	if j <= 0 || j > c.geo.MaxClients || j == c.cid {
 		return
+	}
+	if !c.eraKnown[j] {
+		// Lazy first touch: the row survives slot reuse and may hold the
+		// previous incarnation's witness entries, which must never travel
+		// backwards — seed the cache from the device before comparing.
+		c.eraRow[j] = uint32(c.h.Load(c.geo.EraAddr(c.cid, j)))
+		c.eraKnown[j] = true
 	}
 	if c.eraRow[j] < lera {
 		c.eraRow[j] = lera

@@ -17,6 +17,12 @@ func recoverAll(t *testing.T, p *shm.Pool, cids ...int) {
 		t.Fatal(err)
 	}
 	for _, cid := range cids {
+		// Fence first: RecoverClient refuses ALIVE slots (a stale request
+		// must never fence a recycled lease), and stale snapshot clients
+		// are still ALIVE on the device.
+		if err := p.MarkClientDead(cid); err != nil {
+			t.Fatalf("fence %d: %v", cid, err)
+		}
 		if _, err := svc.RecoverClient(cid); err != nil {
 			t.Fatalf("recover %d: %v", cid, err)
 		}

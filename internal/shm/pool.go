@@ -152,6 +152,15 @@ func (p *Pool) format() {
 	// Global reclamation era for hazard-era deferred reclamation: starts at
 	// 1 so a zero hazard word always means "not reading".
 	p.dev.Store(globalEraAddr, 1)
+	// Every client slot starts claimable (generations are zero/even already).
+	for w := 0; w < int(p.geo.SlotMapWords); w++ {
+		n := p.geo.MaxClients - w*64
+		if n >= 64 {
+			p.dev.Store(p.geo.SlotMapAddr(w), ^uint64(0))
+		} else {
+			p.dev.Store(p.geo.SlotMapAddr(w), (uint64(1)<<uint(n))-1)
+		}
+	}
 	p.tel.format()
 }
 
@@ -349,7 +358,12 @@ type Usage struct {
 	SegmentsAbandoned int `json:"segments_abandoned"`
 	SegmentsHuge      int `json:"segments_huge"`
 	ClientsAlive      int `json:"clients_alive"`
-	TotalBytes        int `json:"total_bytes"`
+	// ClientsDead counts dead clients awaiting recovery; ClientsMax is the
+	// slot capacity (MaxClients). Together with ClientsAlive they are the
+	// slot census cxltop's header and SlotExhaustedError report.
+	ClientsDead int `json:"clients_dead"`
+	ClientsMax  int `json:"clients_max"`
+	TotalBytes  int `json:"total_bytes"`
 }
 
 // Usage summarizes pool occupancy.
@@ -367,11 +381,8 @@ func (p *Pool) Usage() Usage {
 			u.SegmentsHuge++
 		}
 	}
-	for cid := 1; cid <= p.geo.MaxClients; cid++ {
-		if p.ClientStatus(cid) == layout.ClientAlive {
-			u.ClientsAlive++
-		}
-	}
+	u.ClientsAlive, u.ClientsDead = p.slotCensus()
+	u.ClientsMax = p.geo.MaxClients
 	u.TotalBytes = int(p.geo.TotalWords) * layout.WordBytes
 	return u
 }

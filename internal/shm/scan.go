@@ -25,9 +25,12 @@ import (
 //     which point an abandoned segment is returned to the free pool.
 //
 // Concurrency contract: a segment is scanned either by its live owner (its
-// own slow path) or — for segments whose owner is dead — by the single
-// recovery/monitor goroutine. Those sets are disjoint, so scans of one
-// segment never race.
+// own slow path) or — for segments whose owner is dead — by the recovery
+// service. Those sets are disjoint; and because the recovery service may
+// now run passes for independent dead clients concurrently (plus the
+// monitor's maintenance scans), every dead-owner scan goes through the
+// service's per-segment mutex (recovery.Service.scanSegment), so scans of
+// one segment still never race.
 
 // ScanReport summarizes one segment-local scan.
 type ScanReport struct {

@@ -2,6 +2,7 @@ package shm_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/check"
@@ -55,8 +56,16 @@ func TestConnectAssignsDistinctIDs(t *testing.T) {
 		}
 		seen[c.ID()] = true
 	}
-	if _, err := p.Connect(); err != shm.ErrTooManyClients {
+	_, err := p.Connect()
+	if !errors.Is(err, shm.ErrTooManyClients) {
 		t.Fatalf("9th connect: err=%v, want ErrTooManyClients", err)
+	}
+	var full *shm.SlotExhaustedError
+	if !errors.As(err, &full) {
+		t.Fatalf("9th connect: err=%T, want *shm.SlotExhaustedError", err)
+	}
+	if full.Capacity != 8 || full.Alive != 8 || full.Dead != 0 {
+		t.Fatalf("census = %+v, want capacity 8, 8 alive, 0 dead", full)
 	}
 }
 

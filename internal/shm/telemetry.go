@@ -125,6 +125,20 @@ func (t *Telemetry) StampIdentity(w telWriter, idx int, id uint64) {
 	w.Store(t.geo.TelBlockBase(idx)+layout.TelBlockOffIdentity, id)
 }
 
+// ScrubBlock resets metric block idx to the never-published state (commit
+// word 0 — ReadBlock reports ok=false) and clears its identity. Connect
+// calls this when a slot is re-leased: the previous lessee's final vector
+// stays readable while the slot is idle (dead-client forensics), but must
+// never masquerade as the new incarnation's output. Goes through the new
+// lessee's fenceable handle, like every block write.
+func (t *Telemetry) ScrubBlock(w telWriter, idx int) {
+	if idx < 1 || idx > t.geo.MaxClients {
+		return
+	}
+	w.Store(t.geo.TelBlockBase(idx)+layout.TelBlockOffCommit, 0)
+	w.Store(t.geo.TelBlockBase(idx)+layout.TelBlockOffIdentity, 0)
+}
+
 // --- pool block (multi-writer, CAS-added words) ---
 
 // casAdd atomically adds v to the device word at a.

@@ -44,6 +44,11 @@ type Config struct {
 	// RecoveryAccess, with Op, reproduces one phase-B position: the victim
 	// crashes at its first write, the recovery executor at this write.
 	RecoveryAccess int
+	// Clients sizes the pool's client-slot table (0 = the default 8). The
+	// workload still drives the same scripted actors; a larger table checks
+	// that slot claims, heartbeat scans, and era-row scrubs stay correct —
+	// and crash positions reproducible — at attachment-scale geometry.
+	Clients int
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -96,9 +101,12 @@ type Stats struct {
 // short) — exercising recovery over recycled segment bases.
 const hugeBytes = 500 * 1024
 
-func geometry() layout.GeometryConfig {
+func geometry(clients int) layout.GeometryConfig {
+	if clients <= 0 {
+		clients = 8
+	}
 	return layout.GeometryConfig{
-		MaxClients: 8, NumSegments: 16, SegmentWords: 1 << 13,
+		MaxClients: clients, NumSegments: 16, SegmentWords: 1 << 13,
 		PageWords: 1 << 9, MaxQueues: 8,
 	}
 }
@@ -112,11 +120,19 @@ type env struct {
 	o   *shm.Client // peer (receives, queue end)
 	svc *recovery.Service
 
-	r1, b1     layout.Addr // long-lived small object, published as named root 0
-	rp, parent layout.Addr // embed-carrying parent
-	rh, rh2    layout.Addr // huge-object roots
-	bh         layout.Addr // first huge object's block
-	qr, q, oq  layout.Addr // queue: x's root, block, o's root
+	// extra is the slot-recycle leg's fourth client: attached, crashed,
+	// reclaimed, and re-attached over the same slot. extraCID/extraGen
+	// remember the first lease so the re-attach can assert slot identity and
+	// generation monotonicity.
+	extra    *shm.Client
+	extraCID int
+	extraGen uint64
+
+	r1, b1     layout.Addr   // long-lived small object, published as named root 0
+	rp, parent layout.Addr   // embed-carrying parent
+	rh, rh2    layout.Addr   // huge-object roots
+	bh         layout.Addr   // first huge object's block
+	qr, q, oq  layout.Addr   // queue: x's root, block, o's root
 	burst      []layout.Addr // roots of the deferred-free burst leg
 
 	nextPayload uint64
@@ -132,6 +148,19 @@ type op struct {
 
 func actorX(e *env) *shm.Client { return e.x }
 func actorO(e *env) *shm.Client { return e.o }
+
+func actorExtra(e *env) *shm.Client { return e.extra }
+
+// mgmtOps names the operations swept with victim -1 instead of a scripted
+// actor: their device writes come from the management plane (slot claim
+// words, fences) and from a client that may not fully exist yet. A crash
+// inside one simulates the attaching or recovering *process* dying, so the
+// cleanup path (runPosition) treats the recovery executor as a casualty too.
+var mgmtOps = map[string]bool{
+	"connect-fresh":    true,
+	"reclaim-extra":    true,
+	"connect-recycled": true,
+}
 
 // sendFrom allocates a payload, stamps it with a fresh id, sends it, and
 // drops the sender's root (the queue slot now owns the reference).
@@ -353,6 +382,55 @@ func script() []op {
 			e.x.Heartbeat()
 			return nil
 		}},
+		// Slot-recycle legs: the client-slot lease lifecycle under crashes at
+		// every write. A fourth client attaches (bitmap-guided claim, lease
+		// generation stamp, era/redo/identity init), does real work, is
+		// killed and reclaimed, and its slot is leased again — asserting the
+		// recycled lease lands on the same slot with a strictly higher
+		// generation. The mgmt ops (see mgmtOps) sweep all write sources;
+		// crashes leave half-born or half-reclaimed slots for the fresh
+		// service and the epilogue monitor to converge.
+		{"connect-fresh", actorX, func(e *env) error {
+			c, err := e.p.Connect()
+			if err != nil {
+				return err
+			}
+			e.extra, e.extraCID, e.extraGen = c, c.ID(), c.Generation()
+			return nil
+		}},
+		{"churn-extra", actorExtra, func(e *env) error {
+			r, b, err := e.extra.Malloc(64, 0)
+			if err != nil {
+				return err
+			}
+			e.extra.StoreWord(b, 0, 0xec0)
+			_, err = e.extra.ReleaseRoot(r)
+			return err
+		}},
+		{"reclaim-extra", actorX, func(e *env) error {
+			cid := e.extra.ID()
+			e.extra = nil
+			if err := e.p.MarkClientDead(cid); err != nil {
+				return err
+			}
+			_, err := e.svc.RecoverClient(cid)
+			return err
+		}},
+		{"connect-recycled", actorX, func(e *env) error {
+			c, err := e.p.Connect()
+			if err != nil {
+				return err
+			}
+			if c.ID() != e.extraCID {
+				return fmt.Errorf("recycle claimed slot %d, want %d", c.ID(), e.extraCID)
+			}
+			if c.Generation() <= e.extraGen {
+				return fmt.Errorf("recycled lease generation did not advance: %d -> %d",
+					e.extraGen, c.Generation())
+			}
+			e.extra = c
+			return nil
+		}},
 		// Byte-lease leg: a lease is client-local state over data words, so
 		// a crash while one is live must leave recovery nothing to do. The
 		// lease's own writes are data-plane (they bypass the device hook);
@@ -420,15 +498,15 @@ func positions(w, cap int) []int {
 // scripted clients and the recovery service, and returns the run env.
 // Connection order is fixed (x=1, o=2, executor=3) so write counts are
 // reproducible.
-func setup(backend string, sw *faultinject.AccessSweeper) (*env, error) {
-	return setupWith(backend, []cxl.Middleware{cxl.WithAccessHook(sw.Hook)})
+func setup(backend string, clients int, sw *faultinject.AccessSweeper) (*env, error) {
+	return setupWith(backend, clients, []cxl.Middleware{cxl.WithAccessHook(sw.Hook)})
 }
 
 // setupWith is setup with an arbitrary middleware stack — the corruption
 // campaign swaps the access sweeper for the write-fault corruptor.
-func setupWith(backend string, mws []cxl.Middleware) (*env, error) {
+func setupWith(backend string, clients int, mws []cxl.Middleware) (*env, error) {
 	p, err := shm.NewPool(shm.Config{
-		Geometry:   geometry(),
+		Geometry:   geometry(clients),
 		Backend:    backend,
 		Middleware: mws,
 	})
@@ -461,8 +539,15 @@ func replay(e *env, ops []op, k int) error {
 	return nil
 }
 
+// alive reports whether c's lease is still the current one on its slot. The
+// status word alone is not enough: once slots recycle, a crashed client's
+// slot can be reclaimed by a later Connect (the epilogue helper included),
+// turning the slot ALIVE again under a handle whose lease has long been
+// revoked. The generation word disambiguates — a stale handle's generation
+// no longer matches the slot's.
 func alive(e *env, c *shm.Client) bool {
-	return c != nil && e.p.ClientStatus(c.ID()) == layout.ClientAlive
+	return c != nil && e.p.ClientStatus(c.ID()) == layout.ClientAlive &&
+		e.p.SlotGeneration(c.ID()) == c.Generation()
 }
 
 // queueLive reports whether the scripted queue block still exists as a
@@ -542,7 +627,7 @@ func finish(e *env, svc *recovery.Service, v Violation) []Violation {
 	}
 
 	// Survivors' caches must still agree with the device before they go.
-	for _, c := range []*shm.Client{e.x, e.o} {
+	for _, c := range []*shm.Client{e.x, e.o, e.extra} {
 		if alive(e, c) {
 			if err := c.CheckShadow(); err != nil {
 				bad("shadow incoherent on client %d: %v", c.ID(), err)
@@ -550,7 +635,7 @@ func finish(e *env, svc *recovery.Service, v Violation) []Violation {
 		}
 	}
 
-	for _, c := range []*shm.Client{e.x, e.o, nc} {
+	for _, c := range []*shm.Client{e.x, e.o, e.extra, nc} {
 		if alive(e, c) {
 			if err := c.Close(); err != nil {
 				bad("close client %d: %v", c.ID(), err)
@@ -615,7 +700,7 @@ func Run(cfg Config) ([]Violation, Stats, error) {
 	// position's verdict is meaningless.
 	if cfg.Op == "" {
 		sw := faultinject.NewAccessSweeper()
-		e, err := setup(cfg.Backend, sw)
+		e, err := setup(cfg.Backend, cfg.Clients, sw)
 		if err != nil {
 			return nil, st, err
 		}
@@ -641,7 +726,7 @@ func Run(cfg Config) ([]Violation, Stats, error) {
 		// Counting pass: how many device writes does this op issue for its
 		// actor?
 		sw := faultinject.NewAccessSweeper()
-		e, err := setup(cfg.Backend, sw)
+		e, err := setup(cfg.Backend, cfg.Clients, sw)
 		if err != nil {
 			return vs, st, err
 		}
@@ -649,7 +734,11 @@ func Run(cfg Config) ([]Violation, Stats, error) {
 			e.p.CloseDevice()
 			return vs, st, err
 		}
-		sw.SetVictim(o.actor(e).ID())
+		if mgmtOps[o.name] {
+			sw.SetVictim(-1)
+		} else {
+			sw.SetVictim(o.actor(e).ID())
+		}
 		sw.StartCounting()
 		operr := o.run(e)
 		writes := sw.StopCounting()
@@ -683,7 +772,9 @@ func Run(cfg Config) ([]Violation, Stats, error) {
 			vs = append(vs, rv...)
 		}
 
-		if cfg.RecoverySweep {
+		// mgmt ops skip phase B: their bodies already are (or contain) the
+		// recovery pass, so phase A sweeps those writes directly.
+		if cfg.RecoverySweep && !mgmtOps[o.name] {
 			rvs, n, err := sweepRecovery(cfg, ops, k, logf)
 			if err != nil {
 				return vs, st, err
@@ -700,7 +791,7 @@ func Run(cfg Config) ([]Violation, Stats, error) {
 func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
 	v := Violation{Op: ops[k].name, Access: j, Backend: cfg.Backend}
 	sw := faultinject.NewAccessSweeper()
-	e, err := setup(cfg.Backend, sw)
+	e, err := setup(cfg.Backend, cfg.Clients, sw)
 	if err != nil {
 		return nil, err
 	}
@@ -710,7 +801,11 @@ func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
 	}
 	victim := ops[k].actor(e)
 	_, seq0 := victim.LastPublishEpoch()
-	sw.SetVictim(victim.ID())
+	if mgmtOps[ops[k].name] {
+		sw.SetVictim(-1)
+	} else {
+		sw.SetVictim(victim.ID())
+	}
 	sw.Arm(j)
 	var operr error
 	crash := faultinject.Run(func() { operr = ops[k].run(e) })
@@ -730,6 +825,37 @@ func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
 		// bug); validate the completed run anyway.
 		return finish(e, e.svc, v), nil
 	}
+	if mgmtOps[ops[k].name] {
+		// The crash hit the management plane or a half-born client — the
+		// attaching/recovering process died. Its recovery executor cannot be
+		// trusted mid-transaction, so it is declared dead too; a fresh
+		// service recovers it and every slot the crash stranded at DEAD.
+		// Half-claimed ALIVE slots (no heartbeat will ever come) are fenced
+		// by the epilogue monitor.
+		execID := e.svc.Executor().ID()
+		if err := e.p.MarkClientDead(execID); err != nil {
+			v.Detail = fmt.Sprintf("mark executor dead: %v", err)
+			return []Violation{v}, nil
+		}
+		svc2, err := recovery.NewService(e.p)
+		if err != nil {
+			v.Detail = fmt.Sprintf("second service: %v", err)
+			return []Violation{v}, nil
+		}
+		if _, err := svc2.RecoverClient(execID); err != nil {
+			v.Detail = fmt.Sprintf("recover executor: %v", err)
+			return []Violation{v}, nil
+		}
+		for cid := 1; cid <= e.p.Geometry().MaxClients; cid++ {
+			if e.p.ClientStatus(cid) == layout.ClientDead {
+				if _, err := svc2.RecoverClient(cid); err != nil {
+					v.Detail = fmt.Sprintf("recover stranded client %d: %v", cid, err)
+					return []Violation{v}, nil
+				}
+			}
+		}
+		return finish(e, svc2, v), nil
+	}
 	if err := e.p.MarkClientDead(victim.ID()); err != nil {
 		v.Detail = fmt.Sprintf("mark dead: %v", err)
 		return []Violation{v}, nil
@@ -746,7 +872,7 @@ func runPosition(cfg Config, ops []op, k, j int) ([]Violation, error) {
 func sweepRecovery(cfg Config, ops []op, k int, logf func(string, ...any)) ([]Violation, int, error) {
 	// Counting pass for the recovery writes.
 	sw := faultinject.NewAccessSweeper()
-	e, err := setup(cfg.Backend, sw)
+	e, err := setup(cfg.Backend, cfg.Clients, sw)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -797,7 +923,7 @@ func sweepRecovery(cfg Config, ops []op, k int, logf func(string, ...any)) ([]Vi
 func runRecoveryPosition(cfg Config, ops []op, k, r int) ([]Violation, error) {
 	v := Violation{Op: ops[k].name, Access: 1, RecoveryAccess: r, Backend: cfg.Backend}
 	sw := faultinject.NewAccessSweeper()
-	e, err := setup(cfg.Backend, sw)
+	e, err := setup(cfg.Backend, cfg.Clients, sw)
 	if err != nil {
 		return nil, err
 	}
