@@ -6,7 +6,7 @@ GO ?= go
 
 .PHONY: all build test vet race verify bench bench-fastpath bench-compare \
 	bench-smoke test-mmap sweep corrupt fsck-smoke top-smoke ci \
-	bench-resilience bench-scale
+	bench-resilience bench-scale serving-smoke bench-serving serving-compare
 
 all: verify
 
@@ -91,8 +91,8 @@ top-smoke:
 # tier-1 build+test, a race pass over the fast-path and queue tests on both
 # backends, the fast-path regression gate against the committed
 # BENCH_fastpath.json, the mmap-backend suite, the bounded crash sweep (one
-# leg with telemetry collection enabled), and the cxltop/cxlsnap observer
-# smoke.
+# leg with telemetry collection enabled), the cxltop/cxlsnap observer
+# smoke, and the serving-tier chaos smoke on both worker backends.
 ci: vet build test
 	$(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
 	CXLSHM_BACKEND=mmap $(GO) test -race -run 'TestDeviceAccessBudget|TestQueue' ./internal/shm
@@ -106,6 +106,32 @@ ci: vet build test
 	$(GO) run ./cmd/faultsim -sweep -max-writes 6 -clients 64
 	$(MAKE) top-smoke
 	$(MAKE) fsck-smoke
+	$(MAKE) serving-smoke
+
+# serving-smoke drives the network-facing serving tier end to end on both
+# worker backends: in-process workers on the heap pool, then real child OS
+# processes attached to an mmap pool file — each run kills one worker
+# mid-traffic, requires monitor-driven recovery plus metadata-only
+# partition failover, and fails on any survivor error, lost write,
+# corruption, or unclean fsck.
+serving-smoke:
+	$(GO) run ./cmd/cxlkv chaos -backend inproc -workers 3 -keys 20000 -conns 4 -ops 5000
+	$(GO) run ./cmd/cxlkv chaos -backend proc -workers 3 -keys 20000 -conns 4 -ops 5000
+
+# bench-serving runs the full serving chaos benchmark (child OS processes
+# on an mmap pool file, zipfian traffic, one SIGKILL mid-stream) and
+# (re)writes BENCH_serving.json in the repo root with provenance.
+bench-serving:
+	$(GO) run ./cmd/cxlkv chaos -backend proc -out BENCH_serving.json
+
+# serving-compare re-runs the serving chaos benchmark and gates it against
+# the committed BENCH_serving.json: the hard invariants (zero survivor
+# errors, zero lost writes, zero corruptions, fsck clean) are absolute;
+# latency and recovery-SLO gates allow 4x slack over the baseline because
+# serving latencies are wall-clock and machine-local. After an intentional
+# change, re-run `make bench-serving` and commit the new baseline.
+serving-compare:
+	$(GO) run ./cmd/cxlkv chaos -backend proc -compare BENCH_serving.json
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1s .
@@ -133,3 +159,4 @@ bench-scale:
 bench-compare:
 	$(GO) run ./cmd/cxlbench fastpath-compare
 	$(GO) run ./cmd/cxlbench scale-compare
+	$(MAKE) serving-compare

@@ -184,11 +184,19 @@ func (s *Store) AcquirePartition(p int, steal bool) bool {
 		return false
 	}
 	leaseIdx := s.buckets + 4 + p
-	cur := s.c.LoadWord(s.index, leaseIdx)
-	if cur != 0 && !steal {
-		return false
+	// Bounded load+CAS retry: a concurrent acquirer (or a recovery pass
+	// rewriting index words) between the load and the CAS is a reload, not
+	// a refusal. Only a live competing writer (without steal) refuses.
+	for attempt := 0; attempt < 8; attempt++ {
+		cur := s.c.LoadWord(s.index, leaseIdx)
+		if cur != 0 && !steal {
+			return false
+		}
+		if s.c.CASWord(s.index, leaseIdx, cur, uint64(s.c.ID())) {
+			return true
+		}
 	}
-	return s.c.CASWord(s.index, leaseIdx, cur, uint64(s.c.ID()))
+	return false
 }
 
 // PartitionOwner reads partition p's lease word.
@@ -478,6 +486,47 @@ func (s *Store) Range(f func(key uint64, val []byte) bool) {
 		}
 	}
 }
+
+// RangeBuckets walks the records of count consecutive buckets starting at
+// bucket start (wrapping around the table), calling f until it returns
+// false. It is the batch-scan primitive of the serving tier: a bounded
+// window of the index walked lock-free, with the same validate-before-
+// surfacing rule as Range. The value slice is reused between calls.
+// Returns how many records f accepted.
+func (s *Store) RangeBuckets(start, count int, f func(key uint64, val []byte) bool) int {
+	if s.buckets == 0 || count <= 0 {
+		return 0
+	}
+	if count > s.buckets {
+		count = s.buckets
+	}
+	if s.hazard {
+		s.c.EnterRead()
+		defer s.c.ExitRead()
+	}
+	seen := 0
+	buf := make([]byte, s.valSize)
+	for i := 0; i < count; i++ {
+		b := (start + i) % s.buckets
+		rec, _ := s.c.LoadEmbed(s.index, b)
+		for hops := 0; rec != 0 && hops <= s.buckets+1024; hops++ {
+			key := s.c.LoadWord(rec, recKeyWord)
+			s.c.ReadData(rec, recValueWord*layout.WordBytes, buf)
+			if s.c.MetaOf(rec).Allocated() {
+				if !f(key, buf) {
+					return seen + 1
+				}
+				seen++
+			}
+			rec = s.c.LoadWord(rec, recNextIdx)
+		}
+	}
+	return seen
+}
+
+// Buckets returns the index's bucket count (serving needs it to size scan
+// windows and compute partitions on the driver side).
+func (s *Store) Buckets() int { return s.buckets }
 
 // Len counts records (diagnostic full walk).
 func (s *Store) Len() int {

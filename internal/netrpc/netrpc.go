@@ -1,46 +1,109 @@
-// Package netrpc is the pass-by-value RPC baseline of Figure 8: a
+// Package netrpc is the pass-by-value RPC baseline of Figure 8 — a
 // length-prefixed binary protocol over loopback TCP, standing in for the
-// paper's RDMA-based RPC (Herd-style over ConnectX-5). What matters for the
-// comparison is the cost structure, which loopback TCP shares with any
-// pass-by-value transport: the payload is serialized, copied through the
-// kernel I/O stack, and deserialized — exactly the costs CXL-RPC's
-// zero-copy reference exchange avoids.
+// paper's RDMA-based RPC (Herd-style over ConnectX-5) — and the wire layer
+// of the serving tier (internal/serving): worker processes serve GET/PUT/
+// SCAN frames over it, so it is hardened against exactly the partial
+// failures the paper argues a resilient system must absorb. A peer that
+// lies in its length header is refused before any allocation, a peer that
+// stalls mid-frame is disconnected by deadline instead of pinning a
+// goroutine forever, and a handler error travels back as an error frame
+// instead of silently tearing the connection down.
 //
 // Wire format, both directions:
 //
 //	[8B function id][4B payload length][payload bytes]
+//
+// The top bit of a response's length field is the error flag: when set,
+// the payload is the handler's error message and Client.Call returns it as
+// a *ServerError. Request lengths must have the top bit clear.
 package netrpc
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
+// DefaultMaxPayload bounds a frame's payload when Config.MaxPayload is
+// zero. Large enough for any serving batch, small enough that a hostile
+// or corrupt length header cannot balloon the process.
+const DefaultMaxPayload = 16 << 20
+
+// errFlag marks a response payload as an error message. Request lengths
+// must keep it clear, which also caps legal payloads below 2 GiB.
+const errFlag = 1 << 31
+
+// ServerError is a handler (or dispatch) failure reported by the server
+// through an error frame. The connection stays up: the call failed, the
+// transport did not.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "netrpc: server: " + e.Msg }
+
+// ErrPayloadTooLarge reports a frame whose length header exceeds the
+// configured MaxPayload (or has the error flag set on the request side).
+var ErrPayloadTooLarge = errors.New("netrpc: frame payload exceeds MaxPayload")
+
+// Config tunes a Server or Client. The zero value means: DefaultMaxPayload,
+// no deadlines (every wait can block forever — tests and in-process
+// baselines that want the old behavior get it by default).
+type Config struct {
+	// MaxPayload bounds the payload length this side will accept in one
+	// frame, request or response. 0 means DefaultMaxPayload.
+	MaxPayload uint32
+	// ReadTimeout bounds how long one frame may take to arrive once its
+	// header has been read (server), or how long a Call waits for its
+	// response (client) — the per-call ceiling. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one frame. 0 disables.
+	WriteTimeout time.Duration
+	// IdleTimeout (server only) bounds how long a connection may sit
+	// between requests before the server drops it. 0 disables: an idle
+	// serving connection is normal, only mid-frame stalls are hostile.
+	IdleTimeout time.Duration
+}
+
+func (c Config) maxPayload() uint32 {
+	if c.MaxPayload == 0 {
+		return DefaultMaxPayload
+	}
+	return c.MaxPayload
+}
+
 // Handler executes one function over the request payload, returning the
-// response payload.
+// response payload. A returned error travels to the caller as an error
+// frame; the connection keeps serving.
 type Handler func(fn uint64, payload []byte) ([]byte, error)
 
 // Server serves pass-by-value calls on a loopback listener.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     Config
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
 }
 
-// NewServer starts a server on an ephemeral loopback port.
+// NewServer starts a server on an ephemeral loopback port with the zero
+// Config (no deadlines, DefaultMaxPayload).
 func NewServer(handler Handler) (*Server, error) {
+	return NewServerConfig(handler, Config{})
+}
+
+// NewServerConfig starts a server on an ephemeral loopback port.
+func NewServerConfig(handler Handler, cfg Config) (*Server, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: handler, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,33 +144,81 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	maxPayload := s.cfg.maxPayload()
 	var hdr [12]byte
 	for {
+		// Waiting for the next request is legitimate idleness, bounded
+		// separately (if at all) from the mid-frame deadline below.
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
+		// The header has arrived: the rest of the frame must follow
+		// promptly, or the peer is stalled and gets disconnected instead
+		// of pinning this goroutine.
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		fn := binary.LittleEndian.Uint64(hdr[0:8])
 		n := binary.LittleEndian.Uint32(hdr[8:12])
+		// The length header is untrusted input: refuse it BEFORE the
+		// allocation it sizes. Nothing after a hostile header can be
+		// trusted to re-frame, so the connection is answered and dropped.
+		if n&errFlag != 0 || n > maxPayload {
+			s.writeResp(conn, w, fn, []byte(fmt.Sprintf(
+				"frame payload %d exceeds MaxPayload %d", n&^uint32(errFlag), maxPayload)), true)
+			return
+		}
 		payload := make([]byte, n) // the pass-by-value copy-in
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
 		resp, err := s.handler(fn, payload)
 		if err != nil {
-			return
+			// The handler failed, the transport did not: report the error
+			// in-band and keep serving this connection.
+			if !s.writeResp(conn, w, fn, []byte(err.Error()), true) {
+				return
+			}
+			continue
 		}
-		binary.LittleEndian.PutUint64(hdr[0:8], fn)
-		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(resp)))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return
+		if uint64(len(resp)) > uint64(maxPayload) {
+			if !s.writeResp(conn, w, fn, []byte(fmt.Sprintf(
+				"handler response %d exceeds MaxPayload %d", len(resp), maxPayload)), true) {
+				return
+			}
+			continue
 		}
-		if _, err := w.Write(resp); err != nil { // the copy-out
-			return
-		}
-		if err := w.Flush(); err != nil {
+		if !s.writeResp(conn, w, fn, resp, false) {
 			return
 		}
 	}
+}
+
+// writeResp writes one response frame (the copy-out), reporting whether
+// the connection is still usable.
+func (s *Server) writeResp(conn net.Conn, w *bufio.Writer, fn uint64, payload []byte, isErr bool) bool {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], fn)
+	n := uint32(len(payload))
+	if isErr {
+		n |= errFlag
+	}
+	binary.LittleEndian.PutUint32(hdr[8:12], n)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return false
+	}
+	if _, err := w.Write(payload); err != nil {
+		return false
+	}
+	return w.Flush() == nil
 }
 
 // Close stops the server and waits for connections to drain.
@@ -127,26 +238,45 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client issues pass-by-value calls over one connection.
+// Client issues pass-by-value calls over one connection. Call is
+// serialized internally, so a Client may be shared across goroutines —
+// though each caller then waits its turn on the single in-flight frame.
 type Client struct {
+	mu   sync.Mutex
 	conn net.Conn
+	cfg  Config
 	r    *bufio.Reader
 	w    *bufio.Writer
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a server with the zero Config.
+func Dial(addr string) (*Client, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig connects to a server. cfg.ReadTimeout is the per-call
+// response ceiling: a server that hangs mid-call returns a timeout error
+// instead of blocking the caller forever.
+func DialConfig(addr string, cfg Config) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, cfg: cfg, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
 // Call sends fn with payload and returns the response payload. Each call
 // serializes, copies through the kernel, and deserializes — the baseline
-// cost structure.
+// cost structure. A handler failure returns a *ServerError; transport
+// errors (including deadline expiry) leave the connection unusable.
 func (c *Client) Call(fn uint64, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	maxPayload := c.cfg.maxPayload()
+	if uint64(len(payload)) > uint64(maxPayload) {
+		return nil, fmt.Errorf("%w (%d > %d)", ErrPayloadTooLarge, len(payload), maxPayload)
+	}
+	if c.cfg.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], fn)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
@@ -159,16 +289,26 @@ func (c *Client) Call(fn uint64, payload []byte) ([]byte, error) {
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	if c.cfg.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+	} else {
+		c.conn.SetReadDeadline(time.Time{})
+	}
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[8:12])
-	if n > 1<<30 {
-		return nil, fmt.Errorf("netrpc: absurd response length %d", n)
+	isErr := n&errFlag != 0
+	n &^= uint32(errFlag)
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w (response %d > %d)", ErrPayloadTooLarge, n, maxPayload)
 	}
 	resp := make([]byte, n)
 	if _, err := io.ReadFull(c.r, resp); err != nil {
 		return nil, err
+	}
+	if isErr {
+		return nil, &ServerError{Msg: string(resp)}
 	}
 	return resp, nil
 }

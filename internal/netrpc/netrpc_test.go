@@ -2,8 +2,13 @@ package netrpc
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func echo(fn uint64, payload []byte) ([]byte, error) {
@@ -88,4 +93,217 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestHostileFrameLengthRejected is the regression test for the unbounded
+// server-side allocation: a peer whose length header claims an absurd
+// payload must be refused before the allocation it sizes, with an error
+// frame, and the server must keep serving other connections.
+func TestHostileFrameLengthRejected(t *testing.T) {
+	s, err := NewServerConfig(echo, Config{MaxPayload: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, hostile := range []uint32{1 << 17, 0xFFFFFFF0, errFlag | 4} {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [12]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], 1)
+		binary.LittleEndian.PutUint32(hdr[8:12], hostile)
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		// The server answers with an error frame without waiting for the
+		// claimed bytes (which will never come), then drops the connection.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var resp [12]byte
+		if _, err := readFull(conn, resp[:]); err != nil {
+			t.Fatalf("length %#x: no error frame: %v", hostile, err)
+		}
+		n := binary.LittleEndian.Uint32(resp[8:12])
+		if n&errFlag == 0 {
+			t.Fatalf("length %#x: response not flagged as error", hostile)
+		}
+		msg := make([]byte, n&^uint32(errFlag))
+		if _, err := readFull(conn, msg); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(msg, []byte("MaxPayload")) {
+			t.Fatalf("error frame %q does not name the limit", msg)
+		}
+		conn.Close()
+	}
+
+	// The server survived the hostile peers: a well-behaved client works.
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if resp, err := c.Call(7, []byte("still alive")); err != nil || string(resp) != "still alive" {
+		t.Fatalf("echo after hostile frames: %q, %v", resp, err)
+	}
+}
+
+// TestClientRejectsOversizedResponse mirrors the bound on the client side.
+func TestClientRejectsOversizedResponse(t *testing.T) {
+	s, err := NewServer(func(fn uint64, p []byte) ([]byte, error) {
+		return make([]byte, 1<<12), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialConfig(s.Addr(), Config{MaxPayload: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized response error = %v, want ErrPayloadTooLarge", err)
+	}
+	// And an oversized request is refused locally, before any I/O.
+	if _, err := c.Call(1, make([]byte, 1<<11)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized request error = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+// TestHandlerErrorSurfaces is the regression test for handler errors
+// tearing down the connection: the client must see the handler's message
+// as a *ServerError, not a bare io.EOF, and the same connection must keep
+// working afterwards.
+func TestHandlerErrorSurfaces(t *testing.T) {
+	s, err := NewServer(func(fn uint64, p []byte) ([]byte, error) {
+		if fn == 13 {
+			return nil, fmt.Errorf("unlucky function %d", fn)
+		}
+		return echo(fn, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, err = c.Call(13, []byte("boom"))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("handler error came back as %T %v, want *ServerError", err, err)
+	}
+	if se.Msg != "unlucky function 13" {
+		t.Fatalf("server error message %q lost the handler's text", se.Msg)
+	}
+	// The connection survived the failed call.
+	if resp, err := c.Call(7, []byte("next call")); err != nil || string(resp) != "next call" {
+		t.Fatalf("call after handler error: %q, %v", resp, err)
+	}
+}
+
+// TestServerDeadlineDropsStalledPeer is the regression test for a hung
+// peer pinning a handler goroutine: a connection that sends a header and
+// then stalls mid-frame must be disconnected by the read deadline.
+func TestServerDeadlineDropsStalledPeer(t *testing.T) {
+	s, err := NewServerConfig(echo, Config{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], 1)
+	binary.LittleEndian.PutUint32(hdr[8:12], 100) // promise 100 bytes...
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// ...and never send them. The server must hang up on its own — a read
+	// on our side observes the close well before any test timeout.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var b [1]byte
+	if _, err := conn.Read(b[:]); err == nil {
+		t.Fatal("server answered a half-frame instead of dropping the stalled peer")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server still holding the stalled connection after its read deadline")
+	}
+}
+
+// TestServerIdleTimeout: with IdleTimeout set, a connection that goes
+// quiet between requests is dropped; without it, idling is fine.
+func TestServerIdleTimeout(t *testing.T) {
+	s, err := NewServerConfig(echo, Config{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var b [1]byte
+	if _, err := conn.Read(b[:]); err == nil {
+		t.Fatal("idle connection not dropped")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("server still holding the idle connection after IdleTimeout")
+	}
+}
+
+// TestClientCallTimeout: a server that hangs mid-call must not block the
+// caller forever — the client's ReadTimeout is the per-call ceiling.
+func TestClientCallTimeout(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewServer(func(fn uint64, p []byte) ([]byte, error) {
+		<-block // wedge the handler: the response never comes
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Release the wedged handler BEFORE s.Close runs (defers are LIFO), or
+	// Close would wait forever on the handler goroutine.
+	defer close(block)
+	c, err := DialConfig(s.Addr(), Config{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(1, []byte("x"))
+	if err == nil {
+		t.Fatal("call against a wedged server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("wedged-server error = %v, want a net timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("call took %v to time out", elapsed)
+	}
+}
+
+// readFull is io.ReadFull without importing io into the test twice.
+func readFull(conn net.Conn, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := conn.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }

@@ -1,0 +1,102 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// ServingBench is the BENCH_serving.json document: one chaos serving run
+// with provenance.
+type ServingBench struct {
+	Provenance *obs.Provenance `json:"provenance,omitempty"`
+	Run        *ChaosResult    `json:"run"`
+}
+
+// WriteBench writes the document to path.
+func (b *ServingBench) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBench reads a BENCH_serving.json.
+func LoadBench(path string) (*ServingBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ServingBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("serving: parse %s: %w", path, err)
+	}
+	if b.Run == nil {
+		return nil, fmt.Errorf("serving: %s has no run", path)
+	}
+	return &b, nil
+}
+
+// Compare gates cur against base. Hard invariants (survivors never error,
+// no lost writes, no corruptions, fsck clean) are absolute; latency and
+// recovery gates allow generous slack because serving latencies are
+// wall-clock and machine-local — the repo's deterministic gates live in
+// the access-count benchmarks, this one only has to catch order-of-
+// magnitude regressions and invariant breaks.
+func Compare(base, cur *ServingBench) []string {
+	var bad []string
+	b, c := base.Run, cur.Run
+
+	if c.SurvivorErrors != 0 {
+		bad = append(bad, fmt.Sprintf("survivor_errors = %d, want 0", c.SurvivorErrors))
+	}
+	if c.LostWrites != 0 {
+		bad = append(bad, fmt.Sprintf("lost_writes = %d, want 0", c.LostWrites))
+	}
+	if c.Corruptions != 0 {
+		bad = append(bad, fmt.Sprintf("corruptions = %d, want 0", c.Corruptions))
+	}
+	if !c.FsckClean {
+		bad = append(bad, fmt.Sprintf("fsck not clean (%d issues)", c.FsckIssues))
+	}
+	if b.Killed && !c.Killed {
+		bad = append(bad, "baseline run killed a worker, current did not")
+	}
+
+	gate := func(name string, base, cur, floor int64) {
+		if base <= 0 {
+			return
+		}
+		limit := 4 * base
+		if limit < floor {
+			limit = floor
+		}
+		if cur > limit {
+			bad = append(bad, fmt.Sprintf("%s = %s, limit %s (4× baseline %s)",
+				name, fmtNS(cur), fmtNS(limit), fmtNS(base)))
+		}
+	}
+	// Floors keep tiny baselines from producing hair-trigger gates.
+	gate("read_p99", b.ReadP99NS, c.ReadP99NS, 10_000_000)
+	gate("write_p99", b.WriteP99NS, c.WriteP99NS, 10_000_000)
+	gate("scan_p99", b.ScanP99NS, c.ScanP99NS, 50_000_000)
+	gate("window_p99", b.WindowP99NS, c.WindowP99NS, 250_000_000)
+	gate("detect_to_recovered", b.DetectToRecoveredNS, c.DetectToRecoveredNS, 2_000_000_000)
+	gate("disruption", b.DisruptionNS, c.DisruptionNS, 5_000_000_000)
+	return bad
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}

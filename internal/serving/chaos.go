@@ -1,0 +1,497 @@
+package serving
+
+import (
+	"bufio"
+	"fmt"
+	"math/bits"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/kv"
+	"repro/internal/layout"
+	"repro/internal/netrpc"
+	"repro/internal/recovery"
+	"repro/internal/shm"
+)
+
+// ChaosConfig shapes one serving run: geometry, workload, and the failure
+// to inject.
+type ChaosConfig struct {
+	Workers int // serving workers (= writer partitions)
+
+	Keys    int
+	ValSize int
+	Buckets int // 0: sized from Keys
+
+	WriteRatio float64
+	Zipf       float64
+
+	Conns      int // driver goroutines
+	OpsPerConn int
+	ScanEvery  int
+	ScanSpan   int
+	Seed       int64
+
+	// Kill injects the partial failure: one worker is killed abruptly
+	// mid-traffic, the monitor must fence and recover it, and a survivor
+	// takes over its partition.
+	Kill bool
+
+	RootSlot int
+	Net      netrpc.Config
+
+	HeartbeatEvery   time.Duration
+	MonitorInterval  time.Duration
+	MonitorThreshold int
+	RecoveryWorkers  int
+	FailoverWait     time.Duration
+}
+
+func (c *ChaosConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.Keys <= 0 {
+		c.Keys = 50_000
+	}
+	if c.ValSize <= 0 {
+		c.ValSize = 64
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = defaultBuckets(c.Keys)
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.OpsPerConn <= 0 {
+		c.OpsPerConn = 5_000
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.3
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Millisecond
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 10 * time.Millisecond
+	}
+	if c.MonitorThreshold <= 0 {
+		// ~50ms of grace against a 2ms heartbeat. Tighter settings (5ms x 3)
+		// false-positive on small machines: a worker's heartbeat goroutine
+		// can be starved for >15ms by scheduler queueing or dirty-page
+		// writeback throttling on the mmap backend, and fencing a live
+		// worker turns a chaos drill into real survivor damage.
+		c.MonitorThreshold = 5
+	}
+	if c.RecoveryWorkers <= 0 {
+		c.RecoveryWorkers = 4
+	}
+	if c.FailoverWait <= 0 {
+		c.FailoverWait = 10 * time.Second
+	}
+}
+
+// defaultBuckets sizes the hash table at roughly keys/4 (mean chain ~4),
+// rounded up to a power of two and capped at 32Ki — the bucket count is
+// the index object's embedded-reference count, which the meta word caps
+// at layout.MaxEmbedRefs (65535).
+func defaultBuckets(keys int) int {
+	b := keys / 4
+	if b < 1024 {
+		return 1024
+	}
+	if b > 32768 {
+		return 32768
+	}
+	return 1 << bits.Len(uint(b-1))
+}
+
+// SizeGeometry computes a pool geometry that fits the configured store
+// with headroom: each record costs its value plus header words, the index
+// is one huge object of ~Buckets words, and segments are doubled so
+// recovery always has clean segments to adopt into.
+func SizeGeometry(cfg ChaosConfig) layout.GeometryConfig {
+	cfg.fill()
+	recWords := uint64(cfg.ValSize+15)/8 + 6
+	need := uint64(cfg.Keys)*recWords + uint64(cfg.Buckets)*2 + 1<<16
+	const segWords = 1 << 16
+	segs := int(2 * need / segWords)
+	if segs < 64 {
+		segs = 64
+	}
+	if segs > 8192 {
+		segs = 8192
+	}
+	return layout.GeometryConfig{
+		MaxClients:   cfg.Workers + cfg.RecoveryWorkers + 8,
+		NumSegments:  segs,
+		SegmentWords: segWords,
+	}
+}
+
+// WorkerProc is one serving worker as the orchestrator sees it — in this
+// process or a child OS process.
+type WorkerProc interface {
+	Addr() string
+	CID() int
+	// Kill ends the worker abruptly: no goodbye, no client close — the
+	// slot is left for the monitor to fence (kill -9 semantics).
+	Kill() error
+	// Shutdown ends the worker cleanly (serve-drain then client close).
+	Shutdown() error
+}
+
+// Spawner starts worker idx with the given config.
+type Spawner func(idx int, cfg WorkerConfig) (WorkerProc, error)
+
+type inprocProc struct{ w *Worker }
+
+func (p *inprocProc) Addr() string    { return p.w.Addr() }
+func (p *inprocProc) CID() int        { return p.w.CID() }
+func (p *inprocProc) Kill() error     { p.w.Abandon(); return nil }
+func (p *inprocProc) Shutdown() error { return p.w.Stop() }
+
+// InProcSpawner runs workers as goroutine sets inside this process,
+// sharing pool. Kill abandons the worker's client slot without closing it
+// — the same corpse a killed process leaves. Works on any backend,
+// including heap.
+func InProcSpawner(pool *shm.Pool) Spawner {
+	return func(idx int, cfg WorkerConfig) (WorkerProc, error) {
+		w, err := StartWorker(pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &inprocProc{w}, nil
+	}
+}
+
+// ReadyPrefix starts the line a child worker process prints on stdout once
+// it is serving: "SERVING <addr> <cid>".
+const ReadyPrefix = "SERVING "
+
+// ReadyLine formats the child readiness line.
+func ReadyLine(addr string, cid int) string {
+	return fmt.Sprintf("%s%s %d", ReadyPrefix, addr, cid)
+}
+
+type childProc struct {
+	cmd  *exec.Cmd
+	addr string
+	cid  int
+	net  netrpc.Config
+}
+
+func (p *childProc) Addr() string { return p.addr }
+func (p *childProc) CID() int     { return p.cid }
+
+func (p *childProc) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait()
+	return nil
+}
+
+func (p *childProc) Shutdown() error {
+	conn, err := DialWorker(p.addr, p.net)
+	if err == nil {
+		conn.Quit()
+		conn.Close()
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		return fmt.Errorf("serving: worker %d did not exit on quit", p.cid)
+	}
+}
+
+// ExecSpawner runs each worker as a child OS process built by mkCmd (which
+// must arrange for the child to attach the pool file, start a worker, and
+// print ReadyLine on stdout). The spawner waits for that line, then
+// forwards the rest of the child's stdout to ours.
+func ExecSpawner(net netrpc.Config, mkCmd func(idx int) *exec.Cmd) Spawner {
+	return func(idx int, cfg WorkerConfig) (WorkerProc, error) {
+		cmd := mkCmd(idx)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if !strings.HasPrefix(line, ReadyPrefix) {
+				fmt.Fprintln(os.Stderr, line)
+				continue
+			}
+			var addr string
+			var cid int
+			if _, err := fmt.Sscanf(line, ReadyPrefix+"%s %d", &addr, &cid); err != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+				return nil, fmt.Errorf("serving: bad ready line %q: %w", line, err)
+			}
+			go func() { // drain the rest so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return &childProc{cmd: cmd, addr: addr, cid: cid, net: net}, nil
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("serving: worker %d exited before ready (%v)", idx, sc.Err())
+	}
+}
+
+// ChaosResult is the outcome of one serving run, JSON-shaped for
+// BENCH_serving.json.
+type ChaosResult struct {
+	Workers    int     `json:"workers"`
+	Keys       int     `json:"keys"`
+	ValSize    int     `json:"val_size"`
+	Buckets    int     `json:"buckets"`
+	WriteRatio float64 `json:"write_ratio"`
+	Zipf       float64 `json:"zipf"`
+	Conns      int     `json:"conns"`
+	OpsPerConn int     `json:"ops_per_conn"`
+
+	Ops       uint64  `json:"ops"`
+	WallNS    int64   `json:"wall_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	ReadP50NS   int64 `json:"read_p50_ns"`
+	ReadP99NS   int64 `json:"read_p99_ns"`
+	WriteP50NS  int64 `json:"write_p50_ns"`
+	WriteP99NS  int64 `json:"write_p99_ns"`
+	ScanP50NS   int64 `json:"scan_p50_ns,omitempty"`
+	ScanP99NS   int64 `json:"scan_p99_ns,omitempty"`
+	WindowP99NS int64 `json:"window_p99_ns,omitempty"`
+
+	SurvivorErrors uint64 `json:"survivor_errors"`
+	VictimErrors   uint64 `json:"victim_errors"`
+	StalledWrites  uint64 `json:"stalled_writes"`
+	LostWrites     uint64 `json:"lost_writes"`
+	Corruptions    uint64 `json:"corruptions"`
+	Rerouted       uint64 `json:"rerouted"`
+
+	Killed                 bool  `json:"killed"`
+	VictimWorker           int   `json:"victim_worker,omitempty"`
+	VictimCID              int   `json:"victim_cid,omitempty"`
+	DetectToRecoveredNS    int64 `json:"detect_to_recovered_ns,omitempty"`
+	TimelineDetectToRecNS  int64 `json:"timeline_detect_to_recovered_ns,omitempty"`
+	TakeoverNS             int64 `json:"takeover_ns,omitempty"`
+	DisruptionNS           int64 `json:"disruption_ns,omitempty"`
+
+	FsckClean  bool `json:"fsck_clean"`
+	FsckIssues int  `json:"fsck_issues"`
+}
+
+// RunChaos executes one full serving run on pool: preload, spawn workers
+// through spawn, drive traffic, optionally kill one worker mid-stream and
+// fail its partition over, then drain, recover every slot, and fsck.
+func RunChaos(pool *shm.Pool, spawn Spawner, cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.fill()
+
+	// Preload through a direct pool client: partition leases are all zero
+	// at this point, so the single-writer rule is unenforced and one
+	// loader can fill every partition.
+	creator, err := pool.Connect()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := kv.Create(creator, cfg.RootSlot, cfg.Buckets, cfg.ValSize, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, cfg.ValSize)
+	for k := 0; k < cfg.Keys; k++ {
+		valFor(uint64(k), buf)
+		if err := loader.Put(uint64(k), buf); err != nil {
+			return nil, fmt.Errorf("serving: preload key %d: %w", k, err)
+		}
+	}
+	loader.Close()
+	creator.FlushMetrics()
+	creator.Close()
+
+	// The loader slot parks dead until recovered; do it now so the monitor
+	// started below only ever sees worker deaths. The named root keeps the
+	// index alive through its creator's death (§5.3 roots outlive owners).
+	svc, err := recovery.NewServiceWorkers(pool, cfg.RecoveryWorkers)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := svc.RecoverClient(creator.ID()); err != nil {
+		return nil, fmt.Errorf("serving: recover loader: %w", err)
+	}
+
+	procs := make([]WorkerProc, cfg.Workers)
+	addrs := make([]string, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		p, err := spawn(i, WorkerConfig{
+			RootSlot:       cfg.RootSlot,
+			Partitions:     []int{i},
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			Net:            cfg.Net,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serving: spawn worker %d: %w", i, err)
+		}
+		procs[i] = p
+		addrs[i] = p.Addr()
+	}
+
+	mon := recovery.NewMonitor(svc, recovery.MonitorConfig{
+		Interval:  cfg.MonitorInterval,
+		Threshold: cfg.MonitorThreshold,
+	})
+	mon.Start()
+	var monStop sync.Once
+	stopMon := func() { monStop.Do(mon.Stop) }
+	defer stopMon()
+
+	driver, err := NewDriver(addrs, DriverConfig{
+		Keys: cfg.Keys, ValSize: cfg.ValSize,
+		Buckets: cfg.Buckets, Writers: cfg.Workers,
+		WriteRatio: cfg.WriteRatio, Zipf: cfg.Zipf,
+		Conns: cfg.Conns, OpsPerConn: cfg.OpsPerConn,
+		ScanEvery: cfg.ScanEvery, ScanSpan: cfg.ScanSpan,
+		Seed: cfg.Seed, Net: cfg.Net, FailoverWait: cfg.FailoverWait,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type runOut struct {
+		rep *DriverReport
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		rep, err := driver.Run()
+		done <- runOut{rep, err}
+	}()
+
+	res := &ChaosResult{
+		Workers: cfg.Workers, Keys: cfg.Keys, ValSize: cfg.ValSize,
+		Buckets: cfg.Buckets, WriteRatio: cfg.WriteRatio, Zipf: cfg.Zipf,
+		Conns: cfg.Conns, OpsPerConn: cfg.OpsPerConn,
+	}
+
+	victim := -1
+	if cfg.Kill {
+		victim = cfg.Workers / 2
+		total := uint64(cfg.Conns) * uint64(cfg.OpsPerConn)
+		for driver.OpsDone() < total/3 {
+			time.Sleep(time.Millisecond)
+		}
+		victimCID := procs[victim].CID()
+		driver.ExpectDown(victim)
+		driver.SetWindow(true)
+		killAt := time.Now()
+		if err := procs[victim].Kill(); err != nil {
+			return nil, fmt.Errorf("serving: kill worker %d: %w", victim, err)
+		}
+
+		// The monitor owns detection: wait for its recovery record.
+		var rec recovery.RecoveryRecord
+		for found := false; !found; {
+			for _, r := range mon.Recoveries() {
+				if r.Client == victimCID {
+					rec, found = r, true
+					break
+				}
+			}
+			if !found {
+				if time.Since(killAt) > 30*time.Second {
+					return nil, fmt.Errorf("serving: victim cid %d not recovered within 30s", victimCID)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+
+		// Metadata-only failover: a survivor steals the dead writer's
+		// partition lease, and the driver re-routes writes to it.
+		survivor := (victim + 1) % cfg.Workers
+		conn, err := DialWorker(addrs[survivor], cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		err = conn.Takeover(victim)
+		conn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serving: takeover by worker %d: %w", survivor, err)
+		}
+		res.TakeoverNS = time.Since(t0).Nanoseconds()
+		driver.SetRoute(victim, survivor)
+		driver.SetWindow(false)
+
+		res.Killed = true
+		res.VictimWorker = victim
+		res.VictimCID = victimCID
+		res.DetectToRecoveredNS = rec.Duration.Nanoseconds()
+		res.DisruptionNS = time.Since(killAt).Nanoseconds()
+		if tl, ok := pool.Telemetry().ReadTimeline(victimCID); ok {
+			res.TimelineDetectToRecNS = tl.DurationNS
+		}
+	}
+
+	out := <-done
+	if out.rep != nil {
+		rep := out.rep
+		res.Ops = rep.Ops
+		res.WallNS = rep.Wall.Nanoseconds()
+		if rep.Wall > 0 {
+			res.OpsPerSec = float64(rep.Ops) / rep.Wall.Seconds()
+		}
+		res.ReadP50NS = rep.Read.Percentile(0.50)
+		res.ReadP99NS = rep.Read.Percentile(0.99)
+		res.WriteP50NS = rep.Write.Percentile(0.50)
+		res.WriteP99NS = rep.Write.Percentile(0.99)
+		res.ScanP50NS = rep.Scan.Percentile(0.50)
+		res.ScanP99NS = rep.Scan.Percentile(0.99)
+		res.WindowP99NS = rep.Window.Percentile(0.99)
+		res.SurvivorErrors = rep.SurvivorErrors
+		res.VictimErrors = rep.VictimErrors
+		res.StalledWrites = rep.StalledWrites
+		res.LostWrites = rep.LostWrites
+		res.Corruptions = rep.Corruptions
+		res.Rerouted = rep.Rerouted
+	}
+	if out.err != nil {
+		return res, out.err
+	}
+
+	// Drain: stop the monitor before the survivors' clean exits so their
+	// parked-dead slots are recovered exactly once, by us.
+	stopMon()
+	for i, p := range procs {
+		if i == victim {
+			continue
+		}
+		cid := p.CID()
+		if err := p.Shutdown(); err != nil {
+			return res, fmt.Errorf("serving: shutdown worker %d: %w", i, err)
+		}
+		if _, err := svc.RecoverClient(cid); err != nil {
+			return res, fmt.Errorf("serving: recover worker %d (cid %d): %w", i, cid, err)
+		}
+	}
+
+	chk := check.Validate(pool)
+	res.FsckClean = chk.Clean()
+	res.FsckIssues = len(chk.Issues)
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package serving_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/netrpc"
+	"repro/internal/serving"
+	"repro/internal/shm"
+)
+
+func newServingPool(t *testing.T, cfg serving.ChaosConfig) *shm.Pool {
+	t.Helper()
+	p, err := shm.NewPool(shm.Config{Geometry: serving.SizeGeometry(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.CloseDevice() })
+	return p
+}
+
+// startStore creates the kv index and two workers owning partitions 0/1.
+func startStore(t *testing.T, p *shm.Pool, keys, valSize int) (w0, w1 *serving.Worker) {
+	t.Helper()
+	c, err := p.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := kv.Create(c, 0, 1024, valSize, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, valSize)
+	for k := 0; k < keys; k++ {
+		for i := range buf {
+			buf[i] = byte(k + i)
+		}
+		if err := st.Put(uint64(k), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The creator stays open (and unenforcing: it holds no partition
+	// lease) so this test needs no recovery service.
+	t.Cleanup(func() { st.Close(); c.Close() })
+	mk := func(part int) *serving.Worker {
+		w, err := serving.StartWorker(p, serving.WorkerConfig{
+			Partitions: []int{part},
+			Net:        netrpc.Config{ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Stop() })
+		return w
+	}
+	return mk(0), mk(1)
+}
+
+func TestServingRoundTrip(t *testing.T) {
+	cfg := serving.ChaosConfig{Workers: 2, Keys: 500, ValSize: 32}
+	p := newServingPool(t, cfg)
+	w0, _ := startStore(t, p, 500, 32)
+
+	conn, err := serving.DialWorker(w0.Addr(), netrpc.Config{ReadTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if cid, err := conn.Ping(); err != nil || cid != w0.CID() {
+		t.Fatalf("ping: cid=%d err=%v, want %d", cid, err, w0.CID())
+	}
+
+	val, found, err := conn.Get(7)
+	if err != nil || !found {
+		t.Fatalf("get 7: found=%v err=%v", found, err)
+	}
+	if len(val) != 32 || val[0] != 7 || val[1] != 8 {
+		t.Fatalf("get 7: bad value %v", val[:4])
+	}
+	if _, found, err = conn.Get(999999); err != nil || found {
+		t.Fatalf("get missing: found=%v err=%v", found, err)
+	}
+
+	n, err := conn.Scan(0, 100)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("scan returned %d records, want 100", n)
+	}
+
+	st, err := conn.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CID != w0.CID() || st.Buckets != 1024 || st.Writers != 2 || st.ValSize != 32 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestServingWriteOwnership pins the single-writer rule through the wire:
+// a put for a partition the worker does not own comes back as a
+// *netrpc.ServerError, not a success and not a dropped connection.
+func TestServingWriteOwnership(t *testing.T) {
+	cfg := serving.ChaosConfig{Workers: 2, Keys: 100, ValSize: 32}
+	p := newServingPool(t, cfg)
+	w0, w1 := startStore(t, p, 100, 32)
+
+	conn0, err := serving.DialWorker(w0.Addr(), netrpc.Config{ReadTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn0.Close()
+
+	// Find one key in each partition.
+	key0, key1 := uint64(0), uint64(0)
+	for k := uint64(0); ; k++ {
+		if kv.Partition(k, 1024, 2) == 0 {
+			key0 = k
+			break
+		}
+	}
+	for k := uint64(0); ; k++ {
+		if kv.Partition(k, 1024, 2) == 1 {
+			key1 = k
+			break
+		}
+	}
+
+	val := make([]byte, 32)
+	if err := conn0.Put(key0, val); err != nil {
+		t.Fatalf("put own partition: %v", err)
+	}
+	err = conn0.Put(key1, val)
+	var se *netrpc.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("put foreign partition: err=%v, want *netrpc.ServerError", err)
+	}
+	// The connection must survive the refused write.
+	if _, err := conn0.Ping(); err != nil {
+		t.Fatalf("connection dead after refused write: %v", err)
+	}
+
+	// Takeover moves ownership: worker 0 steals partition 1, the same put
+	// now succeeds.
+	if err := conn0.Takeover(1); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	if err := conn0.Put(key1, val); err != nil {
+		t.Fatalf("put after takeover: %v", err)
+	}
+	_ = w1
+}

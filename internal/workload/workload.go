@@ -40,7 +40,7 @@ type KVConfig struct {
 type KVStream struct {
 	cfg  KVConfig
 	rng  *rand.Rand
-	zipf *rand.Zipf
+	zipf *Zipfian
 }
 
 // NewKVStream validates cfg and builds a stream.
@@ -53,16 +53,13 @@ func NewKVStream(cfg KVConfig) (*KVStream, error) {
 	}
 	s := &KVStream{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	if cfg.Zipf > 0 {
-		// rand.Zipf requires s > 1; the conventional YCSB θ in (0,1) maps to
-		// the exponent s = 1/(1-θ) shape-wise; clamp near-1 θ.
-		theta := cfg.Zipf
-		if theta >= 0.999 {
-			theta = 0.999
+		// The proper YCSB zipfian-constant generator (zipf.go), not the
+		// former rand.NewZipf shape-wise approximation.
+		z, err := NewZipfian(s.rng, uint64(cfg.Keys), cfg.Zipf)
+		if err != nil {
+			return nil, err
 		}
-		s.zipf = rand.NewZipf(s.rng, 1/(1-theta), 1, uint64(cfg.Keys-1))
-		if s.zipf == nil {
-			return nil, fmt.Errorf("workload: bad zipf parameter %v", cfg.Zipf)
-		}
+		s.zipf = z
 	}
 	return s, nil
 }
@@ -71,7 +68,7 @@ func NewKVStream(cfg KVConfig) (*KVStream, error) {
 func (s *KVStream) Next() Op {
 	var key uint64
 	if s.zipf != nil {
-		key = s.zipf.Uint64()
+		key = s.zipf.Next()
 	} else {
 		key = uint64(s.rng.Intn(s.cfg.Keys))
 	}

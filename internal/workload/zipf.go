@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks 0..n-1 with P(rank i) ∝ 1/(i+1)^θ for the YCSB
+// zipfian constant θ ∈ [0, 1) — rank 0 is the hottest key. This is the
+// generator of Gray et al., "Quickly Generating Billion-Record Synthetic
+// Databases" (SIGMOD '94), the one YCSB itself uses: draw u uniform,
+// invert the zipfian CDF via the precomputed harmonic normalizer
+// ζ(n,θ) = Σ_{i=1..n} 1/i^θ, with closed-form shortcuts for the first two
+// ranks and the Gray approximation for the tail.
+//
+// The previous stand-in mapped θ to Go's rand.NewZipf(s=1/(1-θ)), whose
+// distribution P(k) ∝ 1/(v+k)^s is a different family entirely: at θ=0.99
+// it produced a head mass several times too hot and a far thinner tail
+// than YCSB's, so skew sweeps (Figure 10c) were not measuring what the
+// paper's axis claims. This generator pins the head-key mass exactly at
+// 1/ζ(n,θ) (see TestZipfianHeadKeyMass).
+//
+// Determinism: draws consume exactly one rng.Float64() each, so a seeded
+// stream replays identically — the property every driver and sweep relies
+// on.
+type Zipfian struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+	// Precomputed by NewZipfian (the only O(n) step):
+	zetan float64 // ζ(n,θ)
+	alpha float64 // 1/(1-θ)
+	eta   float64 // Gray's tail interpolation constant
+	p1    float64 // P(rank 0)   = 1/ζ(n,θ)
+	p2    float64 // P(rank ≤ 1) = (1 + 2^-θ)/ζ(n,θ)
+}
+
+// NewZipfian builds a generator over n ranks with zipfian constant theta.
+// theta = 0 is uniform; theta must be < 1 (the YCSB family; θ ≥ 1 has no
+// finite uniform-sweep analogue on a bounded key space).
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) (*Zipfian, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipfian needs at least one rank")
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipfian constant %v out of [0,1)", theta)
+	}
+	z := &Zipfian{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.p1 = 1 / z.zetan
+	z.p2 = (1 + math.Pow(0.5, theta)) / z.zetan
+	return z, nil
+}
+
+// zeta computes the generalized harmonic number ζ(n,θ) = Σ_{i=1..n} 1/i^θ.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank. Exactly one rng.Float64() per call.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	if u < z.p1 {
+		return 0
+	}
+	if u < z.p2 {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n { // floating-point edge at u→1
+		k = z.n - 1
+	}
+	return k
+}
+
+// HeadMass returns the expected probability of the hottest rank, 1/ζ(n,θ)
+// — the quantity the frequency tests pin.
+func (z *Zipfian) HeadMass() float64 { return z.p1 }

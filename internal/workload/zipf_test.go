@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfianHeadKeyMass pins the distribution itself: for each paper θ,
+// the empirical mass of the hottest key must match the analytic
+// 1/ζ(n,θ) — the property the old rand.NewZipf(s=1/(1-θ)) approximation
+// failed (its head mass at θ=0.99 was several times too large).
+func TestZipfianHeadKeyMass(t *testing.T) {
+	const n, draws = 10000, 400000
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		z, err := NewZipfian(rand.New(rand.NewSource(42)), n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				head++
+			}
+		}
+		got := float64(head) / draws
+		want := z.HeadMass()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("θ=%v: head-key mass %.5f, analytic 1/ζ(n,θ) = %.5f (off %+.1f%%)",
+				theta, got, want, 100*(got/want-1))
+		}
+	}
+}
+
+// TestZipfianSecondRankRatio checks the shape one step further down: the
+// rank-1/rank-0 frequency ratio must be 2^-θ.
+func TestZipfianSecondRankRatio(t *testing.T) {
+	const n, draws = 1000, 500000
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		z, err := NewZipfian(rand.New(rand.NewSource(7)), n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c0, c1 int
+		for i := 0; i < draws; i++ {
+			switch z.Next() {
+			case 0:
+				c0++
+			case 1:
+				c1++
+			}
+		}
+		got := float64(c1) / float64(c0)
+		want := math.Pow(0.5, theta)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("θ=%v: rank1/rank0 ratio %.4f, want 2^-θ = %.4f", theta, got, want)
+		}
+	}
+}
+
+// TestZipfianTailMass guards against the approximation's other failure
+// mode — a starved tail: the bottom half of the key space must carry
+// roughly its analytic share (ζ(n,θ)-ζ(n/2,θ))/ζ(n,θ) of the draws.
+func TestZipfianTailMass(t *testing.T) {
+	const n, draws = 10000, 400000
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		z, err := NewZipfian(rand.New(rand.NewSource(9)), n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() >= n/2 {
+				tail++
+			}
+		}
+		got := float64(tail) / draws
+		want := (zeta(n, theta) - zeta(n/2, theta)) / zeta(n, theta)
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("θ=%v: tail mass %.4f, analytic %.4f", theta, got, want)
+		}
+	}
+}
+
+// TestZipfianRangeAndDeterminism: every draw is in range, and a seeded
+// stream replays identically.
+func TestZipfianRangeAndDeterminism(t *testing.T) {
+	mk := func() []uint64 {
+		z, err := NewZipfian(rand.New(rand.NewSource(1234)), 777, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, 5000)
+		for i := range out {
+			out[i] = z.Next()
+			if out[i] >= 777 {
+				t.Fatalf("draw %d out of range", out[i])
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded stream diverged at draw %d", i)
+		}
+	}
+}
+
+// TestZipfianValidation: the YCSB family is θ ∈ [0,1) on n ≥ 1 ranks.
+func TestZipfianValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipfian(rng, 0, 0.5); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewZipfian(rng, 10, 1.0); err == nil {
+		t.Error("θ=1 accepted")
+	}
+	if _, err := NewZipfian(rng, 10, -0.1); err == nil {
+		t.Error("negative θ accepted")
+	}
+	if _, err := NewKVStream(KVConfig{Keys: 10, Zipf: 1.5}); err == nil {
+		t.Error("KVStream accepted θ=1.5")
+	}
+}
